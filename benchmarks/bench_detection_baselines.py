@@ -1,0 +1,104 @@
+"""Extension bench — detector zoo vs attack stealth.
+
+Sweeps the delay-injection ramp time (0 = the paper's step, longer =
+stealthier) and runs four detectors over the same attacked radar
+stream:
+
+* CRA (the paper's defense) — latency bounded by the challenge schedule,
+  independent of stealth;
+* χ²-residual (PyCRA-style [10]) — catches abrupt corruption only;
+* CUSUM — integrates small biases, still blind to smooth ramps that a
+  constant-velocity reference tracks as a maneuver;
+* safety envelope (Tiwari-style [12]) — catches rate/value violations,
+  blind to anything inside the learned envelope.
+
+The regenerated table is the quantitative version of the paper's
+"unlike [10], our method..." positioning.
+"""
+
+from conftest import emit
+from repro import (
+    AttackWindow,
+    ChiSquareDetector,
+    CUSUMDetector,
+    DelayInjectionAttack,
+    SafetyEnvelopeDetector,
+    fig2_scenario,
+    run_single,
+)
+from repro.analysis import render_table
+
+ONSET = 180.0
+
+
+def _attacked_stream(ramp_time):
+    attack = DelayInjectionAttack(
+        AttackWindow(ONSET, 300.0), distance_offset=6.0, ramp_time=ramp_time
+    )
+    scenario = fig2_scenario("delay").with_overrides(
+        name=f"ramp-{ramp_time:.0f}", attack=attack
+    )
+    defended = run_single(scenario, defended=True)
+    undefended = run_single(scenario, defended=False)
+    times = undefended.times
+    measured = undefended.array("measured_distance")
+    cra_detections = [t for t in defended.detection_times if t >= ONSET]
+    return times, measured, cra_detections
+
+
+def _first_alarm(detector, times, values):
+    for t, value in zip(times, values):
+        if value == 0.0:  # challenge instants: no measurement
+            continue
+        if detector.process(float(t), float(value)) and t >= ONSET:
+            return float(t)
+    return None
+
+
+def bench_detection_baselines(benchmark):
+    def sweep():
+        rows = []
+        for ramp in (0.0, 20.0, 60.0, 118.0):
+            times, measured, cra = _attacked_stream(ramp)
+            rows.append(
+                {
+                    "ramp_time_s": ramp,
+                    "cra_s": cra[0] if cra else None,
+                    "chi2_s": _first_alarm(
+                        ChiSquareDetector(), times, measured
+                    ),
+                    "cusum_s": _first_alarm(CUSUMDetector(), times, measured),
+                    "envelope_s": _first_alarm(
+                        SafetyEnvelopeDetector(
+                            training_samples=100, value_bounds=(2.0, 200.0)
+                        ),
+                        times,
+                        measured,
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Shape claims: CRA detects every variant at the first challenge
+    # (182 s); every residual/envelope baseline misses (or badly lags)
+    # the stealthiest ramp.
+    assert all(row["cra_s"] == 182.0 for row in rows)
+    stealthiest = rows[-1]
+    for key in ("chi2_s", "cusum_s", "envelope_s"):
+        assert stealthiest[key] is None or stealthiest[key] > 200.0
+    # The step attack, by contrast, is visible to residual detection.
+    step = rows[0]
+    assert step["chi2_s"] is not None and step["chi2_s"] <= 183.0
+
+    emit(
+        "detection_baselines",
+        render_table(
+            rows,
+            title=(
+                "First post-onset alarm (s) vs spoof ramp time — delay attack "
+                "from k = 180 s ('-' = never detected by t = 300 s)"
+            ),
+        ),
+    )

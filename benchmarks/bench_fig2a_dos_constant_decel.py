@@ -1,0 +1,47 @@
+"""Figure 2a — DoS attack, leader at constant -0.1082 m/s² deceleration.
+
+Regenerates the three series the paper overlays (radar data without
+attack, with attack, estimated) and checks the panel's shape: large
+spurious readings after the k = 182 s attack onset, detection exactly at
+the k = 182 challenge, and safe recovery under estimation.
+"""
+
+import numpy as np
+
+from conftest import (
+    assert_figure_shape,
+    emit,
+    figure_ascii,
+    figure_series_table,
+    figure_summary,
+    figure_velocity_table,
+)
+
+
+def bench_fig2a(benchmark, figure_data):
+    data = benchmark.pedantic(figure_data, args=("fig2a",), rounds=1, iterations=1)
+
+    assert_figure_shape(data, attacked_should_collide=True)
+
+    # DoS-specific shape: spurious high readings dominate the attacked
+    # stream after onset (the paper's plot spikes toward 200+ m).
+    times = data.attacked.times
+    corrupted = data.attacked.array("measured_distance")[times > 182.0]
+    assert np.max(corrupted) > 150.0
+    assert np.std(corrupted) > 30.0
+
+    emit(
+        "fig2a_dos_constant_decel",
+        "\n\n".join(
+            [
+                "Figure 2a: DoS attack, constant leader deceleration "
+                "(-0.1082 m/s^2); attack window [182, 300] s",
+                figure_ascii(data, "distance series (clipped to 260 m)"),
+                "Distance series:\n" + figure_series_table(data),
+                "Relative-velocity series:\n" + figure_velocity_table(data),
+                "Run summaries:\n" + figure_summary(data),
+                f"Detection time: k = {data.detection_time():.0f} s "
+                "(paper: 182 s)",
+            ]
+        ),
+    )

@@ -1,0 +1,52 @@
+"""Figure 2b — delay-injection attack, constant leader deceleration.
+
+The counterfeit echo adds 6 m to the measured distance from k = 180 s;
+undefended, the follower under-brakes and the true gap collapses.  The
+bench regenerates the panel series and checks detection at k = 182 and
+safe recovery.
+"""
+
+import numpy as np
+
+from conftest import (
+    assert_figure_shape,
+    emit,
+    figure_ascii,
+    figure_series_table,
+    figure_summary,
+    figure_velocity_table,
+)
+
+
+def bench_fig2b(benchmark, figure_data):
+    data = benchmark.pedantic(figure_data, args=("fig2b",), rounds=1, iterations=1)
+
+    assert_figure_shape(data, attacked_should_collide=True)
+
+    # Delay-specific shape: the attacked stream sits ~6 m above the true
+    # gap (stealthy — no spikes), and the undefended gap shrinks below
+    # the baseline's.
+    times = data.attacked.times
+    mask = (times >= 181.0) & (times <= 190.0)
+    offsets = (
+        data.attacked.array("measured_distance")[mask]
+        - data.attacked.array("true_distance")[mask]
+    )
+    assert abs(np.median(offsets) - 6.0) < 1.0
+    assert data.attacked.min_gap() < data.baseline.min_gap()
+
+    emit(
+        "fig2b_delay_constant_decel",
+        "\n\n".join(
+            [
+                "Figure 2b: delay-injection attack (+6 m from k = 180 s), "
+                "constant leader deceleration",
+                figure_ascii(data, "distance series (clipped to 260 m)"),
+                "Distance series:\n" + figure_series_table(data),
+                "Relative-velocity series:\n" + figure_velocity_table(data),
+                "Run summaries:\n" + figure_summary(data),
+                f"Detection time: k = {data.detection_time():.0f} s "
+                "(paper: 182 s)",
+            ]
+        ),
+    )

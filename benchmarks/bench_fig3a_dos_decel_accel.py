@@ -1,0 +1,49 @@
+"""Figure 3a — DoS attack, leader decelerates (-0.1082) then accelerates
+(+0.012 m/s²) at t = 150 s.
+
+Same DoS shape as Figure 2a but with the phase-switching leader; the
+bench additionally checks that the leader profile actually switches and
+that the defended follower survives the full horizon.
+"""
+
+import numpy as np
+
+from conftest import (
+    assert_figure_shape,
+    emit,
+    figure_ascii,
+    figure_series_table,
+    figure_summary,
+    figure_velocity_table,
+)
+
+
+def bench_fig3a(benchmark, figure_data):
+    data = benchmark.pedantic(figure_data, args=("fig3a",), rounds=1, iterations=1)
+
+    assert_figure_shape(data, attacked_should_collide=True)
+
+    # Leader phase switch: decelerating before 150 s, accelerating after.
+    vL = data.baseline.array("leader_velocity")
+    times = data.baseline.times
+    assert vL[times == 140.0][0] < vL[times == 100.0][0]
+    assert vL[times == 250.0][0] > vL[times == 160.0][0]
+
+    corrupted = data.attacked.array("measured_distance")[times > 182.0]
+    assert np.max(corrupted) > 150.0
+
+    emit(
+        "fig3a_dos_decel_accel",
+        "\n\n".join(
+            [
+                "Figure 3a: DoS attack, leader decelerates then accelerates "
+                "(switch at t = 150 s)",
+                figure_ascii(data, "distance series (clipped to 260 m)"),
+                "Distance series:\n" + figure_series_table(data),
+                "Relative-velocity series:\n" + figure_velocity_table(data),
+                "Run summaries:\n" + figure_summary(data),
+                f"Detection time: k = {data.detection_time():.0f} s "
+                "(paper: 182 s)",
+            ]
+        ),
+    )

@@ -1,0 +1,74 @@
+"""Extension bench — attack propagation through an ACC platoon.
+
+The paper's case study is a single follower; a deployed ACC operates in
+a platoon.  This bench measures how the DoS attack's disturbance
+propagates down a 4-vehicle chain (peak gap deviation vs a clean
+reference, per follower) and shows that defending only the *attacked*
+vehicle contains the disturbance for the whole string.
+"""
+
+from conftest import emit
+from repro import AttackWindow, DoSJammingAttack
+from repro.analysis import render_table
+from repro.simulation import PlatoonScenario, PlatoonSimulation
+from repro.vehicle import ConstantAccelerationProfile
+
+N_FOLLOWERS = 4
+
+
+def _scenario(defended=()):
+    return PlatoonScenario(
+        leader_profile=ConstantAccelerationProfile(-0.1082),
+        n_followers=N_FOLLOWERS,
+        attack=DoSJammingAttack(AttackWindow(182.0, 300.0)),
+        attacked_follower=0,
+        defended_followers=defended,
+    )
+
+
+def bench_platoon_string_stability(benchmark):
+    def run_all():
+        clean = PlatoonSimulation(_scenario(), attack_enabled=False).run()
+        attacked = PlatoonSimulation(_scenario(), attack_enabled=True).run()
+        defended = PlatoonSimulation(
+            _scenario(defended=(0,)), attack_enabled=True
+        ).run()
+        return clean, attacked, defended
+
+    clean, attacked, defended = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    attacked_amp = attacked.string_amplification(clean)
+    defended_amp = defended.string_amplification(clean)
+
+    # Shape claims: the undefended attack crashes the attacked vehicle
+    # and disturbs every downstream follower; defending the attacked
+    # radar alone keeps the whole string collision-free and attenuated.
+    assert attacked.collided(0)
+    assert all(a > 10.0 for a in attacked_amp[1:])
+    assert not defended.any_collision()
+    assert all(d < a for d, a in zip(defended_amp, attacked_amp))
+
+    rows = []
+    for i in range(N_FOLLOWERS):
+        rows.append(
+            {
+                "follower": i,
+                "role": "attacked radar" if i == 0 else "downstream",
+                "clean_min_gap_m": round(clean.min_gap(i), 2),
+                "attacked_peak_dev_m": round(attacked_amp[i], 1),
+                "attacked_collided": attacked.collided(i),
+                "defended_peak_dev_m": round(defended_amp[i], 1),
+                "defended_collided": defended.collided(i),
+            }
+        )
+    emit(
+        "platoon_string_stability",
+        render_table(
+            rows,
+            title=(
+                "4-follower platoon, DoS on follower 0's radar "
+                "(peak gap deviation vs clean reference; defense on the "
+                "attacked vehicle only)"
+            ),
+        ),
+    )

@@ -1,0 +1,63 @@
+"""Extension bench — CRA+RLS vs redundancy-based fusion.
+
+The paper's positioning (§2): redundancy-based methods also secure
+sensing but "increase cost of the system".  This bench quantifies both
+sides of that trade on the paper's scenarios:
+
+* a *targeted* delay spoof on one of three radars is out-voted by
+  median fusion — redundancy works, at 3x the sensor cost;
+* *broadcast* DoS jamming hits every co-located radar at once, the
+  median is corrupted, and redundancy collapses — while single-sensor
+  CRA+RLS survives both attacks.
+"""
+
+from conftest import emit
+from repro import fig2_scenario, run_single
+from repro.analysis import render_table
+from repro.core.fusion import run_redundant_defense
+
+
+def bench_redundancy_comparison(benchmark):
+    def build():
+        rows = []
+        for kind, broadcast in (("delay", False), ("dos", True)):
+            scenario = fig2_scenario(kind)
+            cra = run_single(scenario, defended=True)
+            n_attacked = 3 if broadcast else 1
+            fused, fusion = run_redundant_defense(
+                scenario, n_sensors=3, n_attacked=n_attacked
+            )
+            suspected = [t for t in fusion.suspected_times if t >= 179.0]
+            rows.append(
+                {
+                    "attack": f"{kind} ({'broadcast' if broadcast else 'targeted'})",
+                    "cra_sensors": 1,
+                    "cra_min_gap_m": round(cra.min_gap(), 1),
+                    "cra_collided": cra.collided,
+                    "fusion_sensors": 3,
+                    "fusion_min_gap_m": round(fused.min_gap(), 1),
+                    "fusion_collided": fused.collided,
+                    "fusion_first_flag_s": suspected[0] if suspected else None,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    by_attack = {row["attack"]: row for row in rows}
+    # Shape claims: CRA+RLS survives both; fusion survives the targeted
+    # spoof (at 3x cost) but collapses under broadcast jamming.
+    assert all(not row["cra_collided"] for row in rows)
+    assert not by_attack["delay (targeted)"]["fusion_collided"]
+    assert by_attack["dos (broadcast)"]["fusion_collided"]
+
+    emit(
+        "redundancy_comparison",
+        render_table(
+            rows,
+            title=(
+                "CRA+RLS (1 radar) vs median fusion (3 radars) on the "
+                "paper's attacks"
+            ),
+        ),
+    )

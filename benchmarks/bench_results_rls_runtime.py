@@ -1,0 +1,82 @@
+"""Results ¶ (run-time) — Algorithm 1 wall-clock over the attack window.
+
+The paper reports RLS run-times of 1.2e7 ns (jamming) and 1.3e7 ns
+(delay injection) for estimating the k = 182..300 s attack window.  We
+measure the same quantity — the total time Algorithm 1 spends training
+on the 182 trusted samples plus forecasting the 118 attacked samples —
+on our implementation and hardware.  Absolute numbers differ across
+machines; the shape claim is that the per-window cost stays in the
+millisecond class (real-time capable at 1 Hz sampling), and that the
+cost scales as O(n²) in the number of RLS parameters.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import render_table
+from repro.core import ChannelPredictor, PolynomialBasis, RLSEstimator
+
+
+def _run_window(predictor: ChannelPredictor) -> float:
+    """Train on 182 trusted samples, forecast 118 attacked ones."""
+    rng = np.random.default_rng(0)
+    for k in range(182):
+        predictor.observe(float(k), 29.06 - 0.1082 * k + rng.normal(0, 0.12))
+    for k in range(182, 300):
+        predictor.forecast(float(k))
+    return 0.0
+
+
+def bench_results_rls_runtime(benchmark):
+    def measure():
+        rows = []
+        for label in ("jamming window", "delay-injection window"):
+            start = time.perf_counter_ns()
+            _run_window(ChannelPredictor(basis=PolynomialBasis(1)))
+            elapsed = time.perf_counter_ns() - start
+            rows.append(
+                {
+                    "workload": label,
+                    "measured_ns": elapsed,
+                    "paper_ns": 1.2e7 if "jamming" in label else 1.3e7,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=3, iterations=1)
+
+    # Real-time shape claim: well under one sample period (1 s).
+    assert all(row["measured_ns"] < 1e9 for row in rows)
+
+    # O(n²) scaling of one Algorithm 1 update.
+    scaling_rows = []
+    rng = np.random.default_rng(1)
+    for n_params in (2, 4, 8, 16, 32):
+        rls = RLSEstimator(n_params=n_params)
+        h = rng.standard_normal(n_params)
+        start = time.perf_counter_ns()
+        for _ in range(2000):
+            rls.update(h, 1.0)
+        per_update = (time.perf_counter_ns() - start) / 2000
+        scaling_rows.append({"n_params": n_params, "ns_per_update": round(per_update)})
+
+    emit(
+        "results_rls_runtime",
+        "\n\n".join(
+            [
+                render_table(
+                    rows,
+                    title=(
+                        "RLS run-time over one attack window "
+                        "(paper: 1.2e7 / 1.3e7 ns in MATLAB; ours is the full "
+                        "train+forecast loop in Python)"
+                    ),
+                ),
+                render_table(
+                    scaling_rows, title="Algorithm 1 per-update cost vs parameters"
+                ),
+            ]
+        ),
+    )

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Compare recovery estimators on the paper's hardest scenario.
+
+Runs the Figure 2a DoS scenario defended by four different estimators:
+
+* ``dead_reckoning`` — leader-velocity RLS + trusted-ego-speed gap
+  integration (the library default);
+* ``per_channel``   — the paper's literal §5.3: one independent RLS
+  forecaster per radar channel;
+* hold-last-value   — the trivial baseline;
+* Kalman            — per-channel constant-velocity Kalman filters.
+
+The per-channel forecasters run open loop during the 118 s attack, so
+small level errors integrate into real gap drift; the dead-reckoning
+estimator keeps the loop closed through the trusted ego speed.
+"""
+
+from repro import (
+    CarFollowingSimulation,
+    HoldLastValuePredictor,
+    KalmanChannelPredictor,
+    RadarChannelEstimator,
+    fig2_scenario,
+)
+from repro.analysis import render_table, safety_metrics
+from repro.simulation.scenario import DefenseConfig
+
+
+def run_with_estimator(scenario, estimator=None):
+    sim = CarFollowingSimulation(scenario, defended=True)
+    if estimator is not None:
+        sim.pipeline.estimator = estimator
+    return sim.run()
+
+
+def main() -> None:
+    rows = []
+    for seed in (2017, 7, 23):
+        runs = {
+            "dead_reckoning": run_with_estimator(
+                fig2_scenario("dos", sensor_seed=seed)
+            ),
+            "per_channel (paper literal)": run_with_estimator(
+                fig2_scenario(
+                    "dos",
+                    sensor_seed=seed,
+                    defense=DefenseConfig(estimator_kind="per_channel"),
+                )
+            ),
+            "hold-last-value": run_with_estimator(
+                fig2_scenario("dos", sensor_seed=seed),
+                RadarChannelEstimator(
+                    HoldLastValuePredictor(), HoldLastValuePredictor()
+                ),
+            ),
+            "kalman per-channel": run_with_estimator(
+                fig2_scenario("dos", sensor_seed=seed),
+                RadarChannelEstimator(
+                    KalmanChannelPredictor(), KalmanChannelPredictor()
+                ),
+            ),
+        }
+        for name, result in runs.items():
+            metrics = safety_metrics(result)
+            rows.append(
+                {
+                    "estimator": name,
+                    "seed": seed,
+                    "min_gap_m": round(metrics.min_gap, 2),
+                    "collided": metrics.collided,
+                }
+            )
+    print(
+        render_table(
+            rows,
+            title="Recovery estimator comparison — Figure 2a DoS scenario",
+        )
+    )
+    print()
+    print("All estimators share the same CRA detector (detection at k = 182 s);")
+    print("only the measurement substitution during the attack differs.")
+
+
+if __name__ == "__main__":
+    main()

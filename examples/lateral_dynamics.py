@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Future-work extension: nonlinear lateral dynamics + lane keeping.
+
+The paper's conclusion announces extending the case study "to include a
+non-linear system model with lateral dynamics".  This example runs the
+kinematic bicycle model with the lane-keeping controller (LKC — named
+in the paper's introduction next to ACC) through three scenarios:
+
+1. recovery from an initial lane offset on a straight road,
+2. tracking a constant-curvature highway bend,
+3. a slalom centerline while the vehicle decelerates with the paper's
+   leader profile (-0.1082 m/s²).
+"""
+
+from repro import (
+    ArcLane,
+    LaneKeepingController,
+    LateralSimulation,
+    LateralState,
+    SinusoidalLane,
+    StraightLane,
+)
+from repro.analysis import ascii_plot, render_table
+from repro.units import mph_to_mps
+
+
+def run_case(name, path, initial, duration=60.0, **kwargs):
+    sim = LateralSimulation(path, **kwargs)
+    result = sim.run(initial, duration=duration)
+    return name, result
+
+
+def main() -> None:
+    start_speed = mph_to_mps(65.0)
+    cases = [
+        run_case(
+            "straight, 1.5 m initial offset",
+            StraightLane(),
+            LateralState(x=0.0, y=1.5, heading=0.0, speed=start_speed),
+        ),
+        run_case(
+            "highway bend (kappa = 1e-3 1/m)",
+            ArcLane(curvature=1e-3),
+            LateralState(x=0.0, y=0.0, heading=0.0, speed=start_speed),
+        ),
+        run_case(
+            "slalom while decelerating at -0.1082 m/s^2",
+            SinusoidalLane(amplitude=1.5, wavelength=500.0),
+            LateralState(x=0.0, y=0.0, heading=0.0, speed=start_speed),
+            duration=120.0,
+            speed_profile=lambda t: -0.1082,
+        ),
+    ]
+
+    rows = []
+    for name, result in cases:
+        rows.append(
+            {
+                "scenario": name,
+                "max_offset_m": round(result.max_offset(), 3),
+                "steady_offset_m": round(result.max_offset(after=30.0), 3),
+                "peak_steer_rad": round(max(abs(s) for s in result.steering), 3),
+                "final_speed_mps": round(result.states[-1].speed, 1),
+            }
+        )
+    print(render_table(rows, title="Lane keeping with the kinematic bicycle model"))
+    print()
+
+    name, result = cases[0]
+    print(
+        ascii_plot(
+            {"lateral offset": (result.times, result.offsets)},
+            title=f"Offset convergence: {name}",
+            y_label="m",
+            width=90,
+            height=14,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""Reproduction of *Estimation of Safe Sensor Measurements of Autonomous
+System Under Attack* (Dutta et al., DAC 2017).
+
+The library implements, from scratch:
+
+* the paper's defense — challenge-response authentication (CRA) for
+  attack detection on active sensors, and recursive least-squares (RLS)
+  estimation of safe measurements during an attack (``repro.core``);
+* every substrate the evaluation relies on — a 77 GHz FMCW radar chain
+  with root-MUSIC beat extraction (``repro.radar``), DoS-jamming and
+  delay-injection attack models (``repro.attacks``), the hierarchical
+  ACC controller with the IDM-style car-following dynamics
+  (``repro.vehicle``), the discrete LTI framework (``repro.lti``), and
+  the closed-loop simulation engine (``repro.simulation``);
+* metrics and reporting used by the benchmark harness
+  (``repro.analysis``).
+
+Quickstart
+----------
+>>> from repro import fig2_scenario, run_figure_scenario
+>>> data = run_figure_scenario(fig2_scenario("dos"))
+>>> data.detection_time()
+182.0
+>>> data.defended.collided
+False
+"""
+
+from repro.core import (
+    ARBasis,
+    ChallengeSchedule,
+    ChannelPredictor,
+    ChiSquareDetector,
+    CRADetector,
+    CUSUMDetector,
+    SafetyEnvelopeDetector,
+    DeadReckoningEstimator,
+    Forecaster,
+    MeasurementEstimator,
+    HoldLastValuePredictor,
+    KalmanChannelPredictor,
+    LMSPredictor,
+    PolynomialBasis,
+    PRBSGenerator,
+    RadarChannelEstimator,
+    RLSEstimator,
+    SafeMeasurement,
+    SafeMeasurementPipeline,
+    rls_estimate,
+)
+from repro.attacks import (
+    Attack,
+    AttackSchedule,
+    AttackWindow,
+    DelayInjectionAttack,
+    DoSJammingAttack,
+    NoAttack,
+    PhantomTargetAttack,
+)
+from repro.radar import (
+    BOSCH_LRR2,
+    AttackEffect,
+    FMCWParameters,
+    FMCWRadarSensor,
+    JammerParameters,
+    beat_frequencies,
+    bosch_lrr2,
+    invert_beat_frequencies,
+    jamming_power_ratio,
+    jamming_succeeds,
+    received_power,
+    root_music,
+)
+from repro.vehicle import (
+    ACCParameters,
+    ACCSystem,
+    ArcLane,
+    BicycleKinematics,
+    ConstantAccelerationProfile,
+    LaneKeepingController,
+    LateralSimulation,
+    LateralState,
+    SinusoidalLane,
+    StraightLane,
+    IDMFollowerController,
+    IDMParameters,
+    IntelligentDriverModel,
+    PiecewiseAccelerationProfile,
+    StopAndGoProfile,
+    VehicleState,
+)
+from repro.simulation import (
+    CarFollowingSimulation,
+    DefenseConfig,
+    FigureData,
+    PlatoonResult,
+    PlatoonScenario,
+    PlatoonSimulation,
+    Scenario,
+    SimulationResult,
+    fig2_scenario,
+    fig3_scenario,
+    paper_challenge_times,
+    run_figure_scenario,
+    run_single,
+)
+from repro.analysis import (
+    ascii_plot,
+    detection_confusion,
+    detection_latency,
+    estimation_rmse,
+    render_table,
+    safety_metrics,
+)
+from repro.types import (
+    AttackLabel,
+    DetectionEvent,
+    RadarMeasurement,
+    SensorStatus,
+    TimeSeries,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    EstimatorNotTrainedError,
+    RadarRangeError,
+    ReproError,
+    SimulationError,
+    SpectralEstimationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "RLSEstimator",
+    "rls_estimate",
+    "PolynomialBasis",
+    "ARBasis",
+    "ChannelPredictor",
+    "Forecaster",
+    "MeasurementEstimator",
+    "RadarChannelEstimator",
+    "DeadReckoningEstimator",
+    "ChallengeSchedule",
+    "PRBSGenerator",
+    "CRADetector",
+    "SafeMeasurementPipeline",
+    "SafeMeasurement",
+    "HoldLastValuePredictor",
+    "LMSPredictor",
+    "KalmanChannelPredictor",
+    "ChiSquareDetector",
+    "CUSUMDetector",
+    "SafetyEnvelopeDetector",
+    # attacks
+    "Attack",
+    "AttackWindow",
+    "AttackSchedule",
+    "NoAttack",
+    "DoSJammingAttack",
+    "DelayInjectionAttack",
+    "PhantomTargetAttack",
+    # radar
+    "FMCWParameters",
+    "BOSCH_LRR2",
+    "bosch_lrr2",
+    "FMCWRadarSensor",
+    "AttackEffect",
+    "JammerParameters",
+    "beat_frequencies",
+    "invert_beat_frequencies",
+    "received_power",
+    "jamming_power_ratio",
+    "jamming_succeeds",
+    "root_music",
+    # vehicle
+    "ACCParameters",
+    "ACCSystem",
+    "VehicleState",
+    "IDMParameters",
+    "IntelligentDriverModel",
+    "IDMFollowerController",
+    "ConstantAccelerationProfile",
+    "PiecewiseAccelerationProfile",
+    "StopAndGoProfile",
+    "BicycleKinematics",
+    "LateralState",
+    "StraightLane",
+    "ArcLane",
+    "SinusoidalLane",
+    "LaneKeepingController",
+    "LateralSimulation",
+    # simulation
+    "Scenario",
+    "DefenseConfig",
+    "CarFollowingSimulation",
+    "SimulationResult",
+    "FigureData",
+    "fig2_scenario",
+    "fig3_scenario",
+    "paper_challenge_times",
+    "run_figure_scenario",
+    "run_single",
+    "PlatoonScenario",
+    "PlatoonResult",
+    "PlatoonSimulation",
+    # analysis
+    "detection_latency",
+    "detection_confusion",
+    "estimation_rmse",
+    "safety_metrics",
+    "render_table",
+    "ascii_plot",
+    # types
+    "RadarMeasurement",
+    "SensorStatus",
+    "AttackLabel",
+    "DetectionEvent",
+    "TimeSeries",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "RadarRangeError",
+    "EstimatorNotTrainedError",
+    "SimulationError",
+    "SpectralEstimationError",
+    "__version__",
+]

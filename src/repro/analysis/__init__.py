@@ -1,0 +1,35 @@
+"""Metrics and reporting for the reproduction experiments.
+
+* :mod:`repro.analysis.metrics` — detection latency, confusion counts
+  over challenge instants, estimation RMSE, and safety measures.
+* :mod:`repro.analysis.tables` — fixed-width table rendering for the
+  benchmark harness output.
+* :mod:`repro.analysis.ascii_plot` — terminal line plots of the figure
+  series (the closest a test log gets to the paper's MATLAB figures).
+"""
+
+from repro.analysis.metrics import (
+    detection_latency,
+    detection_confusion,
+    DetectionConfusion,
+    estimation_rmse,
+    series_rmse,
+    safety_metrics,
+    SafetyMetrics,
+)
+from repro.analysis.tables import render_table
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.report import build_report
+
+__all__ = [
+    "detection_latency",
+    "detection_confusion",
+    "DetectionConfusion",
+    "estimation_rmse",
+    "series_rmse",
+    "safety_metrics",
+    "SafetyMetrics",
+    "render_table",
+    "ascii_plot",
+    "build_report",
+]

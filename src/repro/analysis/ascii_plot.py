@@ -1,0 +1,77 @@
+"""Terminal line plots of simulation traces.
+
+The paper's Figures 2-3 are MATLAB plots; the benchmark harness renders
+the same series as ASCII charts so the figure *shape* (attack spikes,
+challenge zeros, estimated curve tracking the clean one) is visible
+directly in the bench log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 100,
+    height: int = 24,
+    title: Optional[str] = None,
+    y_label: str = "",
+    x_label: str = "time (s)",
+) -> str:
+    """Render one or more ``name -> (times, values)`` series as text.
+
+    Each series is drawn with a distinct glyph; later series overdraw
+    earlier ones where they collide.  Axes are annotated with the data
+    ranges.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 20 or height < 5:
+        raise ValueError("plot must be at least 20x5 characters")
+
+    glyphs = "*o+x.#@%"
+    all_t = np.concatenate(
+        [np.asarray(t, dtype=float) for t, _ in series.values()]
+    )
+    all_v = np.concatenate(
+        [np.asarray(v, dtype=float) for _, v in series.values()]
+    )
+    finite = np.isfinite(all_v)
+    if not np.any(finite):
+        raise ValueError("no finite values to plot")
+    t_min, t_max = float(np.min(all_t)), float(np.max(all_t))
+    v_min, v_max = float(np.min(all_v[finite])), float(np.max(all_v[finite]))
+    if t_max <= t_min:
+        t_max = t_min + 1.0
+    if v_max <= v_min:
+        v_max = v_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (times, values)) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for t, v in zip(np.asarray(times, dtype=float), np.asarray(values, dtype=float)):
+            if not np.isfinite(v):
+                continue
+            col = int((t - t_min) / (t_max - t_min) * (width - 1))
+            row = int((v - v_min) / (v_max - v_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    top_label = f"{v_max:.1f} {y_label}".rstrip()
+    bottom_label = f"{v_min:.1f} {y_label}".rstrip()
+    lines.append(top_label)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append(bottom_label)
+    lines.append(f"{t_min:.0f}{' ' * (width - len(f'{t_min:.0f}') - len(f'{t_max:.0f}'))}{t_max:.0f}  {x_label}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper reports; this
+renderer keeps that output dependency-free and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render dict rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    rows:
+        Mappings from column name to value; missing keys render as "-".
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    precision:
+        Decimal places for float cells.
+    """
+    row_list: List[Mapping[str, object]] = list(rows)
+    if not row_list:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(row_list[0].keys())
+
+    cells = [
+        [_format_cell(row.get(col), precision) for col in columns] for row in row_list
+    ]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(row[i].ljust(widths[i]) for i in range(len(columns)))
+        for row in cells
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, rule, *body])
+    return "\n".join(lines)

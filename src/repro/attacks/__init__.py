@@ -1,0 +1,33 @@
+"""Attack models against the active sensor (paper §4).
+
+The paper's adversary is remote, non-invasive, in the vicinity of the
+victim, and targets the analog front end of the active sensor (Eqns
+3-4).  Two concrete attacks are modelled:
+
+* :class:`~repro.attacks.dos.DoSJammingAttack` — a self-screening noise
+  jammer overwhelms the echo (Eqns 10-11), producing large erratic
+  measurements.
+* :class:`~repro.attacks.delay.DelayInjectionAttack` — a replayed
+  counterfeit echo with extra physical delay makes the target appear
+  farther away (6 m in the paper's experiments).
+
+Attacks are active over an :class:`~repro.attacks.base.AttackWindow`
+(the paper's finite interval ``[k1, kn]``) and can be combined with
+:class:`~repro.attacks.scheduler.AttackSchedule`.
+"""
+
+from repro.attacks.base import Attack, AttackWindow, NoAttack
+from repro.attacks.dos import DoSJammingAttack
+from repro.attacks.delay import DelayInjectionAttack
+from repro.attacks.phantom import PhantomTargetAttack
+from repro.attacks.scheduler import AttackSchedule
+
+__all__ = [
+    "Attack",
+    "AttackWindow",
+    "NoAttack",
+    "DoSJammingAttack",
+    "DelayInjectionAttack",
+    "PhantomTargetAttack",
+    "AttackSchedule",
+]

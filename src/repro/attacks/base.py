@@ -1,0 +1,129 @@
+"""Attack interface and activation windows.
+
+The problem definition (paper §5.1) has the sensors under attack over a
+finite interval ``[k1, kn]`` with ``k1 != 0``; :class:`AttackWindow`
+models that interval and every :class:`Attack` combines a window with a
+physical injection model that yields an
+:class:`~repro.radar.sensor.AttackEffect` per active instant.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.radar.sensor import AttackEffect
+from repro.types import AttackLabel
+
+__all__ = ["AttackWindow", "Attack", "NoAttack"]
+
+
+@dataclass(frozen=True)
+class AttackWindow:
+    """The half-open-ended interval ``[start, end]`` an attack is active on.
+
+    ``end`` may be ``math.inf`` for an attack that never stops within
+    the simulation horizon.
+    """
+
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ValueError(f"attack start must be >= 0, got {self.start}")
+        if self.end < self.start:
+            raise ValueError(
+                f"attack end {self.end} precedes start {self.start}"
+            )
+
+    def contains(self, time: float) -> bool:
+        """True when ``time`` falls inside the active window."""
+        return self.start <= time <= self.end
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds (may be ``inf``)."""
+        return self.end - self.start
+
+
+class Attack(ABC):
+    """A sensor attack: an activation window plus a physical injection.
+
+    Subclasses implement :meth:`_effect` describing what enters the radar
+    front end while the attack is active; the scene geometry is provided
+    because physically realistic injections depend on it (jammer power
+    falls with distance, the counterfeit mimics the true echo).
+    """
+
+    def __init__(self, window: AttackWindow):
+        self.window = window
+
+    @property
+    @abstractmethod
+    def label(self) -> AttackLabel:
+        """Ground-truth label for metrics."""
+
+    @abstractmethod
+    def _effect(
+        self,
+        time: float,
+        true_distance: float,
+        true_relative_velocity: float = 0.0,
+    ) -> AttackEffect:
+        """The injection while active (``time`` guaranteed in-window)."""
+
+    def effect_at(
+        self,
+        time: float,
+        true_distance: float,
+        true_relative_velocity: float = 0.0,
+    ) -> Optional[AttackEffect]:
+        """The injection at ``time``, or None when the attack is dormant.
+
+        The true scene (distance, relative velocity) is provided because
+        physically realistic injections depend on it — jammer power
+        falls with distance, counterfeits mimic or offset the echo.
+        """
+        if not self.window.contains(time):
+            return None
+        return self._effect(time, true_distance, true_relative_velocity)
+
+    def is_active(self, time: float) -> bool:
+        """True while the attack is injecting energy."""
+        return self.window.contains(time)
+
+
+class NoAttack(Attack):
+    """The benign scenario, expressed as an attack that never activates.
+
+    Lets simulation code treat "no attack" uniformly.
+    """
+
+    def __init__(self):
+        super().__init__(AttackWindow(start=0.0, end=0.0))
+
+    @property
+    def label(self) -> AttackLabel:
+        return AttackLabel.NONE
+
+    def _effect(
+        self,
+        time: float,
+        true_distance: float,
+        true_relative_velocity: float = 0.0,
+    ) -> AttackEffect:
+        raise AssertionError("NoAttack never produces an effect")
+
+    def effect_at(
+        self,
+        time: float,
+        true_distance: float,
+        true_relative_velocity: float = 0.0,
+    ) -> Optional[AttackEffect]:
+        return None
+
+    def is_active(self, time: float) -> bool:
+        return False

@@ -1,0 +1,102 @@
+"""Delay-injection spoofing attack (paper §4.1; §6.2).
+
+The adversary replays a counterfeit of the radar's reflected signal with
+additional physical delay ``τ'``, so the target appears ``c τ' / 2``
+meters farther away than it really is.  In the paper's experiment the
+spoofed distance is 6 m beyond the truth from ``k = 180 s`` on, which
+keeps the ACC from braking and closes the real gap.
+
+Because the counterfeit is generated from *previously observed* probes,
+it is still transmitted at CRA challenge instants — the unavoidable
+hardware latency the paper's detection argument rests on ("the time
+required to carry out the attack is always more than zero").
+"""
+
+from __future__ import annotations
+
+from repro.radar.equations import extra_delay_for_distance_offset
+from repro.radar.sensor import AttackEffect
+from repro.attacks.base import Attack, AttackWindow
+from repro.types import AttackLabel
+
+__all__ = ["DelayInjectionAttack"]
+
+
+class DelayInjectionAttack(Attack):
+    """Replay a delayed counterfeit echo while the window is active.
+
+    Parameters
+    ----------
+    window:
+        Activation interval (paper: ``[180, 300]`` seconds).
+    distance_offset:
+        Apparent extra distance of the counterfeit, meters (paper: 6 m).
+    velocity_offset:
+        Apparent extra relative velocity, m/s.  Zero by default: the
+        counterfeit mimics the true Doppler.
+    counterfeit_power_gain:
+        Counterfeit-to-echo power ratio (> 1 so the replay captures the
+        receiver).
+    ramp_time:
+        Seconds over which the spoofed offset ramps from 0 to
+        ``distance_offset``.  The paper's attack is a step (``0``); a
+        slow ramp is the *stealthy* variant that defeats residual
+        (χ²) detectors — each per-sample increment hides inside the
+        noise floor — while CRA still catches it at the first challenge.
+    """
+
+    def __init__(
+        self,
+        window: AttackWindow,
+        distance_offset: float = 6.0,
+        velocity_offset: float = 0.0,
+        counterfeit_power_gain: float = 4.0,
+        ramp_time: float = 0.0,
+    ):
+        super().__init__(window)
+        if distance_offset < 0.0:
+            raise ValueError(
+                f"distance_offset must be >= 0, got {distance_offset}"
+            )
+        if counterfeit_power_gain <= 1.0:
+            raise ValueError(
+                "counterfeit_power_gain must exceed 1 for the replay to "
+                f"capture the receiver, got {counterfeit_power_gain}"
+            )
+        if ramp_time < 0.0:
+            raise ValueError(f"ramp_time must be >= 0, got {ramp_time}")
+        self.distance_offset = distance_offset
+        self.velocity_offset = velocity_offset
+        self.counterfeit_power_gain = counterfeit_power_gain
+        self.ramp_time = ramp_time
+
+    def offset_at(self, time: float) -> float:
+        """The spoofed distance offset in effect at ``time``."""
+        if not self.window.contains(time):
+            return 0.0
+        if self.ramp_time == 0.0:
+            return self.distance_offset
+        progress = min(1.0, (time - self.window.start) / self.ramp_time)
+        return self.distance_offset * progress
+
+    @property
+    def label(self) -> AttackLabel:
+        return AttackLabel.DELAY
+
+    @property
+    def injected_delay(self) -> float:
+        """The physical delay ``τ' = 2 Δd / c`` the attacker injects, s."""
+        return extra_delay_for_distance_offset(self.distance_offset)
+
+    def _effect(
+        self,
+        time: float,
+        true_distance: float,
+        true_relative_velocity: float = 0.0,
+    ) -> AttackEffect:
+        return AttackEffect(
+            spoof_distance_offset=self.offset_at(time),
+            spoof_velocity_offset=self.velocity_offset,
+            replace_echo=True,
+            counterfeit_power_gain=self.counterfeit_power_gain,
+        )

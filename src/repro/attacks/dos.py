@@ -1,0 +1,73 @@
+"""Denial-of-Service jamming attack (paper §4.1, Eqns 10-11; §6.2).
+
+A self-screening jammer rides on the leader vehicle and transmits noise
+with more in-band power than the radar's echo.  The injected power at
+the victim receiver follows the one-way link budget of Eqn 10, so the
+attack's success at a given separation is exactly the paper's Eqn 11
+criterion ``P_r / P_jammer < 1``.
+
+The paper's experiment uses ``P_J = 100 mW``, ``G_J = 10 dBi``,
+``B_J = 155 MHz``, ``L_J = 0.10 dB`` and starts the attack at
+``k = 182 s``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.radar.link_budget import JammerParameters, jammer_received_power
+from repro.radar.params import FMCWParameters
+from repro.radar.sensor import AttackEffect
+from repro.attacks.base import Attack, AttackWindow
+from repro.types import AttackLabel
+
+__all__ = ["DoSJammingAttack"]
+
+
+class DoSJammingAttack(Attack):
+    """Jam the victim radar with in-band noise while the window is active.
+
+    Parameters
+    ----------
+    window:
+        Activation interval (paper: ``[182, 300]`` seconds).
+    jammer:
+        Jammer link-budget parameters; defaults to the paper's §6.2
+        values.
+    radar_params:
+        The victim radar's parameters, needed to evaluate Eqn 10 (shared
+        wavelength/gain terms).  Defaults to the Bosch LRR2 preset.
+    minimum_distance:
+        Floor applied to the separation when evaluating the one-way
+        link budget, so a vanishing gap cannot produce unbounded power.
+    """
+
+    def __init__(
+        self,
+        window: AttackWindow,
+        jammer: Optional[JammerParameters] = None,
+        radar_params: Optional[FMCWParameters] = None,
+        minimum_distance: float = 1.0,
+    ):
+        super().__init__(window)
+        if minimum_distance <= 0.0:
+            raise ValueError(
+                f"minimum_distance must be positive, got {minimum_distance}"
+            )
+        self.jammer = jammer if jammer is not None else JammerParameters()
+        self.radar_params = radar_params if radar_params is not None else FMCWParameters()
+        self.minimum_distance = minimum_distance
+
+    @property
+    def label(self) -> AttackLabel:
+        return AttackLabel.DOS
+
+    def _effect(
+        self,
+        time: float,
+        true_distance: float,
+        true_relative_velocity: float = 0.0,
+    ) -> AttackEffect:
+        distance = max(self.minimum_distance, true_distance)
+        power = jammer_received_power(self.radar_params, self.jammer, distance)
+        return AttackEffect(jammer_noise_power=power)

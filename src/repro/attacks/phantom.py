@@ -1,0 +1,83 @@
+"""Phantom-target injection ("ghost braking") attack.
+
+The delay-injection attack of §4.1 can only make the target appear
+*farther* (injected delay adds range).  An active attacker that
+synthesizes its own chirp-matched signal — rather than replaying the
+echo — can place a counterfeit target at an arbitrary range, including
+*closer* than the real one.  A phantom a few meters ahead triggers
+maximal braking: the availability counterpart of the paper's
+safety-violation attacks (the vehicle is harmless but undrivable, and a
+trailing human driver may rear-end it).
+
+Because the phantom generator, like the replay hardware, cannot
+anticipate the CRA challenges, it keeps transmitting at challenge
+instants and is caught exactly like the paper's two attacks.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackWindow
+from repro.radar.sensor import AttackEffect
+from repro.types import AttackLabel
+
+__all__ = ["PhantomTargetAttack"]
+
+
+class PhantomTargetAttack(Attack):
+    """Inject a counterfeit target at an absolute range/velocity.
+
+    Parameters
+    ----------
+    window:
+        Activation interval.
+    phantom_distance:
+        Absolute range of the phantom, meters (typically much closer
+        than the real target).
+    phantom_velocity:
+        Absolute relative velocity of the phantom, m/s (e.g. a strongly
+        negative value mimics a hard-braking obstacle).
+    counterfeit_power_gain:
+        Phantom-to-echo power ratio (> 1 to capture the receiver).
+    """
+
+    def __init__(
+        self,
+        window: AttackWindow,
+        phantom_distance: float = 10.0,
+        phantom_velocity: float = -5.0,
+        counterfeit_power_gain: float = 4.0,
+    ):
+        super().__init__(window)
+        if phantom_distance <= 0.0:
+            raise ValueError(
+                f"phantom_distance must be positive, got {phantom_distance}"
+            )
+        if counterfeit_power_gain <= 1.0:
+            raise ValueError(
+                "counterfeit_power_gain must exceed 1 for the phantom to "
+                f"capture the receiver, got {counterfeit_power_gain}"
+            )
+        self.phantom_distance = float(phantom_distance)
+        self.phantom_velocity = float(phantom_velocity)
+        self.counterfeit_power_gain = float(counterfeit_power_gain)
+
+    @property
+    def label(self) -> AttackLabel:
+        # The phantom is a spoofing attack; ground-truth metrics group it
+        # with the delay family.
+        return AttackLabel.DELAY
+
+    def _effect(
+        self,
+        time: float,
+        true_distance: float,
+        true_relative_velocity: float = 0.0,
+    ) -> AttackEffect:
+        # The sensor API expresses spoofing as offsets from the true
+        # scene; an absolute phantom is the difference.
+        return AttackEffect(
+            spoof_distance_offset=self.phantom_distance - true_distance,
+            spoof_velocity_offset=self.phantom_velocity - true_relative_velocity,
+            replace_echo=True,
+            counterfeit_power_gain=self.counterfeit_power_gain,
+        )

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Print the experiment registry (every reproduced table/figure and
+    the bench that regenerates it).
+``run <experiment-id>``
+    Run a figure experiment end-to-end and print its summary, detection
+    results and an ASCII rendering of the panel.  Non-figure experiment
+    ids print the pytest command for their bench instead.
+``run-custom <spec.json>``
+    Run the (baseline / attacked / defended) triple for a declarative
+    scenario spec (see :mod:`repro.simulation.spec`).
+``report``
+    Run all four figure panels and print the consolidated
+    paper-vs-measured summary; ``--markdown PATH`` writes a live
+    markdown report instead (``--seeds N`` adds a robustness section).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import ascii_plot, detection_confusion, render_table
+from repro.analysis.experiments import REGISTRY, experiments_table, get_experiment
+from repro.simulation import fig2_scenario, fig3_scenario, run_figure_scenario
+
+__all__ = ["main", "build_parser"]
+
+_FIGURE_FACTORIES = {
+    "fig2a": lambda: fig2_scenario("dos"),
+    "fig2b": lambda: fig2_scenario("delay"),
+    "fig3a": lambda: fig3_scenario("dos"),
+    "fig3b": lambda: fig3_scenario("delay"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Estimation of Safe Sensor Measurements of "
+            "Autonomous System Under Attack' (DAC 2017)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all reproduced experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one figure experiment")
+    run_parser.add_argument("experiment", help="experiment id (e.g. fig2a)")
+    run_parser.add_argument(
+        "--seed", type=int, default=2017, help="sensor noise seed"
+    )
+    run_parser.add_argument(
+        "--no-plot", action="store_true", help="skip the ASCII figure"
+    )
+
+    custom_parser = subparsers.add_parser(
+        "run-custom", help="run a scenario from a JSON spec file"
+    )
+    custom_parser.add_argument("spec", help="path to the scenario spec JSON")
+
+    report_parser = subparsers.add_parser(
+        "report", help="run all figure panels and print the summary"
+    )
+    report_parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        default=None,
+        help="write a markdown report to PATH instead of printing a table",
+    )
+    report_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=0,
+        help="extra sensor seeds for a robustness section (markdown only)",
+    )
+    return parser
+
+
+def _run_figure(identifier: str, seed: int, show_plot: bool, out) -> int:
+    scenario = _FIGURE_FACTORIES[identifier]().with_overrides(sensor_seed=seed)
+    data = run_figure_scenario(scenario)
+    rows = [
+        data.baseline.summary().as_dict(),
+        data.attacked.summary().as_dict(),
+        data.defended.summary().as_dict(),
+    ]
+    experiment = get_experiment(identifier)
+    print(f"{identifier}: {experiment.title}", file=out)
+    print(f"paper claim: {experiment.paper_claim}", file=out)
+    print(file=out)
+    print(render_table(rows, precision=2), file=out)
+    confusion = detection_confusion(data.defended.detection_events, scenario.attack)
+    print(file=out)
+    print(
+        f"detection at k = {data.detection_time():.0f} s "
+        f"({confusion.false_positives} FP / {confusion.false_negatives} FN "
+        f"over {confusion.total} challenges)",
+        file=out,
+    )
+    if show_plot:
+        import numpy as np
+
+        times = data.defended.times
+        window = times >= 100.0
+        print(file=out)
+        print(
+            ascii_plot(
+                {
+                    "no attack": (
+                        times[window],
+                        np.clip(
+                            data.baseline.array("measured_distance")[window], 0, 260
+                        ),
+                    ),
+                    "with attack": (
+                        times[window],
+                        np.clip(
+                            data.attacked.array("measured_distance")[window], 0, 260
+                        ),
+                    ),
+                    "estimated": (
+                        times[window],
+                        np.clip(data.defended.array("safe_distance")[window], 0, 260),
+                    ),
+                },
+                title="radar distance (clipped to 260 m)",
+                y_label="m",
+                width=100,
+                height=20,
+            ),
+            file=out,
+        )
+    return 0
+
+
+def _run_report(out) -> int:
+    rows = []
+    for identifier in ("fig2a", "fig2b", "fig3a", "fig3b"):
+        scenario = _FIGURE_FACTORIES[identifier]()
+        data = run_figure_scenario(scenario)
+        confusion = detection_confusion(
+            data.defended.detection_events, scenario.attack
+        )
+        rows.append(
+            {
+                "panel": identifier,
+                "detection_s": data.detection_time(),
+                "FP": confusion.false_positives,
+                "FN": confusion.false_negatives,
+                "attacked_min_gap_m": round(data.attacked.min_gap(), 1),
+                "attacked_collided": data.attacked.collided,
+                "defended_min_gap_m": round(data.defended.min_gap(), 1),
+                "defended_collided": data.defended.collided,
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=(
+                "Paper-vs-measured summary (paper: detection at 182 s, "
+                "zero FP/FN, safe recovery)"
+            ),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print(experiments_table(), file=out)
+        return 0
+
+    if args.command == "run":
+        try:
+            experiment = get_experiment(args.experiment)
+        except KeyError as exc:
+            print(str(exc), file=out)
+            return 2
+        if args.experiment in _FIGURE_FACTORIES:
+            return _run_figure(args.experiment, args.seed, not args.no_plot, out)
+        print(
+            f"{experiment.identifier} is regenerated by its benchmark:\n"
+            f"  pytest benchmarks/{experiment.bench} --benchmark-only",
+            file=out,
+        )
+        return 0
+
+    if args.command == "run-custom":
+        from repro.simulation import load_scenario
+
+        try:
+            scenario = load_scenario(args.spec)
+        except Exception as exc:  # surface any spec problem as exit code 2
+            print(f"could not load {args.spec}: {exc}", file=out)
+            return 2
+        data = run_figure_scenario(scenario)
+        rows = [
+            data.baseline.summary().as_dict(),
+            data.attacked.summary().as_dict(),
+            data.defended.summary().as_dict(),
+        ]
+        print(render_table(rows, title=f"scenario {scenario.name!r}"), file=out)
+        if data.defended.detection_times:
+            print(
+                f"detection at k = {data.defended.detection_times[0]:.0f} s",
+                file=out,
+            )
+        return 0
+
+    if args.command == "report":
+        if args.markdown is not None:
+            from pathlib import Path
+
+            from repro.analysis.report import build_report
+
+            seeds = list(range(args.seeds)) if args.seeds else None
+            Path(args.markdown).write_text(build_report(seeds=seeds))
+            print(f"wrote {args.markdown}", file=out)
+            return 0
+        return _run_report(out)
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Measurement-matrix (``h_k``) constructions for Algorithm 1.
+
+The paper leaves the entries of the measurement matrix abstract ("h_k:
+entries of measurement matrix").  Two standard choices are provided,
+both usable by :class:`repro.core.predictor.ChannelPredictor`:
+
+* :class:`PolynomialBasis` — ``h(t) = [1, τ, τ², ...]`` with a
+  normalized time ``τ``; the RLS weights then describe a local
+  polynomial trend of the channel, which extrapolates naturally during
+  an attack.
+* :class:`ARBasis` — ``h_k = [y_{k-1}, ..., y_{k-m}]``; the weights form
+  an autoregressive one-step predictor, rolled forward recursively for
+  multi-step forecasts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RegressorBasis", "PolynomialBasis", "ARBasis"]
+
+
+class RegressorBasis(ABC):
+    """Builds the regressor ``h_k`` from the sample time and/or history."""
+
+    @property
+    @abstractmethod
+    def n_params(self) -> int:
+        """Length of the regressor / weight vector."""
+
+    @property
+    @abstractmethod
+    def uses_history(self) -> bool:
+        """True when regressors depend on past channel values."""
+
+    @abstractmethod
+    def regressor(
+        self, normalized_time: float, history: Sequence[Tuple[float, float]]
+    ) -> Optional[np.ndarray]:
+        """Build ``h_k``, or return None when history is insufficient.
+
+        Parameters
+        ----------
+        normalized_time:
+            Sample time already normalized by the caller (dimensionless).
+        history:
+            Past ``(time, value)`` pairs, most recent last, *excluding*
+            the sample the regressor is for.
+        """
+
+
+class PolynomialBasis(RegressorBasis):
+    """Polynomial-in-time regressors ``h(τ) = [1, τ, ..., τ^degree]``.
+
+    The caller is responsible for normalizing time so that ``τ`` stays
+    of order one over the data window — this keeps the correlation
+    matrix well-conditioned.
+    """
+
+    def __init__(self, degree: int = 1):
+        if degree < 0:
+            raise ValueError(f"degree must be >= 0, got {degree}")
+        self.degree = int(degree)
+
+    @property
+    def n_params(self) -> int:
+        return self.degree + 1
+
+    @property
+    def uses_history(self) -> bool:
+        return False
+
+    def regressor(
+        self, normalized_time: float, history: Sequence[Tuple[float, float]]
+    ) -> Optional[np.ndarray]:
+        return np.power(float(normalized_time), np.arange(self.n_params))
+
+    def __repr__(self) -> str:
+        return f"PolynomialBasis(degree={self.degree})"
+
+
+class ARBasis(RegressorBasis):
+    """Autoregressive regressors ``h_k = [y_{k-1}, ..., y_{k-order}]``."""
+
+    def __init__(self, order: int = 3):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = int(order)
+
+    @property
+    def n_params(self) -> int:
+        return self.order
+
+    @property
+    def uses_history(self) -> bool:
+        return True
+
+    def regressor(
+        self, normalized_time: float, history: Sequence[Tuple[float, float]]
+    ) -> Optional[np.ndarray]:
+        if len(history) < self.order:
+            return None
+        recent = [value for _, value in history[-self.order:]]
+        # Most recent value first: h = [y_{k-1}, y_{k-2}, ...].
+        return np.asarray(recent[::-1], dtype=float)
+
+    def __repr__(self) -> str:
+        return f"ARBasis(order={self.order})"

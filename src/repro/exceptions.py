@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "RadarRangeError",
+    "EstimatorNotTrainedError",
+    "SimulationError",
+    "SpectralEstimationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object was constructed with invalid values."""
+
+
+class RadarRangeError(ReproError):
+    """A target lies outside the radar's operating range envelope."""
+
+
+class EstimatorNotTrainedError(ReproError):
+    """A predictor was asked to forecast before observing any samples."""
+
+
+class SimulationError(ReproError):
+    """The closed-loop simulation reached an invalid state."""
+
+
+class SpectralEstimationError(ReproError):
+    """Root-MUSIC could not extract the requested number of frequencies."""

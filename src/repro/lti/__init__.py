@@ -1,0 +1,43 @@
+"""Discrete-time LTI system substrate (paper §3, Eqns 1-4).
+
+The paper models the autonomous CPS as a discrete-time linear
+time-invariant system without process noise:
+
+    x[k+1] = A x[k] + B u[k]
+    y[k]   = C x[k] + v[k],      v ~ N(0, R)
+
+and, under attack (Eqns 3-4), with an additive corruption ``y_a`` on the
+output.  This subpackage provides the plant model, measurement-noise
+models, observability/controllability analysis, and the discretization
+helpers used to turn the ACC lower-level transfer function (Eqn 14) into
+state-space form.
+"""
+
+from repro.lti.system import LTISystem, simulate_lti
+from repro.lti.noise import GaussianNoise, NoNoise, MeasurementNoise
+from repro.lti.observability import (
+    observability_matrix,
+    controllability_matrix,
+    is_observable,
+    is_controllable,
+)
+from repro.lti.discretize import (
+    first_order_lag_discrete,
+    zoh_discretize,
+    double_integrator_discrete,
+)
+
+__all__ = [
+    "LTISystem",
+    "simulate_lti",
+    "GaussianNoise",
+    "NoNoise",
+    "MeasurementNoise",
+    "observability_matrix",
+    "controllability_matrix",
+    "is_observable",
+    "is_controllable",
+    "first_order_lag_discrete",
+    "zoh_discretize",
+    "double_integrator_discrete",
+]

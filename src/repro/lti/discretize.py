@@ -1,0 +1,94 @@
+"""Discretization helpers for the continuous-time pieces of the paper.
+
+The ACC lower-level closed loop (paper Eqn 14) is the first-order lag
+
+    a_F(s) / a_des(s) = K_L / (T_L s + 1)
+
+which we discretize exactly under a zero-order hold, and the vehicle
+kinematics (Eqns 15-17) form a double integrator.  ``zoh_discretize``
+provides the general matrix-exponential ZOH conversion used by both.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+__all__ = [
+    "first_order_lag_discrete",
+    "zoh_discretize",
+    "double_integrator_discrete",
+]
+
+
+def zoh_discretize(A_c, B_c, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Zero-order-hold discretization of ``x' = A_c x + B_c u``.
+
+    Uses the standard augmented matrix-exponential construction
+
+        exp([[A_c, B_c], [0, 0]] dt) = [[A_d, B_d], [0, I]].
+
+    Parameters
+    ----------
+    A_c, B_c:
+        Continuous-time state and input matrices.
+    dt:
+        Sample period in seconds, must be positive.
+
+    Returns
+    -------
+    (A_d, B_d):
+        Discrete-time state and input matrices.
+    """
+    if dt <= 0.0:
+        raise ValueError(f"sample period must be positive, got {dt}")
+    A_c = np.atleast_2d(np.asarray(A_c, dtype=float))
+    B_c = np.atleast_2d(np.asarray(B_c, dtype=float))
+    n = A_c.shape[0]
+    m = B_c.shape[1]
+    if A_c.shape != (n, n):
+        raise ValueError(f"A_c must be square, got {A_c.shape}")
+    if B_c.shape[0] != n:
+        raise ValueError(f"B_c must have {n} rows, got {B_c.shape}")
+    aug = np.zeros((n + m, n + m))
+    aug[:n, :n] = A_c
+    aug[:n, n:] = B_c
+    exp_aug = expm(aug * dt)
+    return exp_aug[:n, :n], exp_aug[:n, n:]
+
+
+def first_order_lag_discrete(gain: float, time_constant: float, dt: float) -> Tuple[float, float]:
+    """Exact ZOH discretization of ``K / (T s + 1)`` (paper Eqn 14).
+
+    Returns ``(alpha, beta)`` such that
+
+        a_F[k+1] = alpha * a_F[k] + beta * a_des[k]
+
+    with ``alpha = exp(-dt/T)`` and ``beta = K (1 - alpha)``, so the
+    discrete map inherits the continuous DC gain ``K`` exactly.
+    """
+    if time_constant <= 0.0:
+        raise ValueError(f"time constant must be positive, got {time_constant}")
+    if dt <= 0.0:
+        raise ValueError(f"sample period must be positive, got {dt}")
+    alpha = float(np.exp(-dt / time_constant))
+    beta = gain * (1.0 - alpha)
+    return alpha, beta
+
+
+def double_integrator_discrete(dt: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Discrete double integrator for position/velocity kinematics.
+
+    State ``[position, velocity]``, input acceleration — the matrix form
+    of the paper's Eqns 15 and 17:
+
+        x[k+1] = x[k] + v[k] dt + 0.5 a[k] dt^2
+        v[k+1] = v[k] + a[k] dt
+    """
+    if dt <= 0.0:
+        raise ValueError(f"sample period must be positive, got {dt}")
+    A = np.array([[1.0, dt], [0.0, 1.0]])
+    B = np.array([[0.5 * dt * dt], [dt]])
+    return A, B

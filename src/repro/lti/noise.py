@@ -1,0 +1,103 @@
+"""Measurement-noise models for the LTI plant (paper §3).
+
+The paper assumes Gaussian measurement noise ``v_k ~ N(0, R)`` with zero
+mean and covariance ``R = E[v_k v_k^T]`` and no process noise.  The noise
+objects here are deliberately stateful iterators over a seeded generator
+so that every simulation is reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["MeasurementNoise", "GaussianNoise", "NoNoise"]
+
+
+class MeasurementNoise(ABC):
+    """Interface for additive measurement-noise sources.
+
+    A noise source produces one draw of ``v_k`` (shape ``(p,)``) per call.
+    """
+
+    @abstractmethod
+    def sample(self) -> np.ndarray:
+        """Draw the next noise vector ``v_k``."""
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Dimension ``p`` of the measurement vector."""
+
+    @property
+    @abstractmethod
+    def covariance(self) -> np.ndarray:
+        """The covariance matrix ``R`` of the noise (``p x p``)."""
+
+
+class GaussianNoise(MeasurementNoise):
+    """Zero-mean Gaussian noise ``v_k ~ N(0, R)``.
+
+    Parameters
+    ----------
+    covariance:
+        Either a scalar variance (1-D measurement), a 1-D array of
+        per-channel variances (diagonal ``R``), or a full ``p x p``
+        positive semi-definite covariance matrix.
+    seed:
+        Seed for the underlying generator; required for reproducibility.
+    """
+
+    def __init__(self, covariance: Union[float, np.ndarray], seed: Optional[int] = None):
+        cov = np.atleast_1d(np.asarray(covariance, dtype=float))
+        if cov.ndim == 1:
+            if np.any(cov < 0.0):
+                raise ValueError("variances must be non-negative")
+            cov = np.diag(cov)
+        if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+            raise ValueError(f"covariance must be square, got shape {cov.shape}")
+        if not np.allclose(cov, cov.T):
+            raise ValueError("covariance must be symmetric")
+        eigvals = np.linalg.eigvalsh(cov)
+        if np.any(eigvals < -1e-12):
+            raise ValueError("covariance must be positive semi-definite")
+        self._cov = cov
+        self._rng = np.random.default_rng(seed)
+        # Cholesky-like factor that also works for singular R.
+        eigvals_clipped = np.clip(eigvals, 0.0, None)
+        vecs = np.linalg.eigh(cov)[1]
+        self._factor = vecs @ np.diag(np.sqrt(eigvals_clipped))
+
+    def sample(self) -> np.ndarray:
+        z = self._rng.standard_normal(self._cov.shape[0])
+        return self._factor @ z
+
+    @property
+    def dimension(self) -> int:
+        return self._cov.shape[0]
+
+    @property
+    def covariance(self) -> np.ndarray:
+        return self._cov.copy()
+
+
+class NoNoise(MeasurementNoise):
+    """A noise source that always returns zero (ideal sensor)."""
+
+    def __init__(self, dimension: int = 1):
+        if dimension < 1:
+            raise ValueError("dimension must be >= 1")
+        self._dim = int(dimension)
+
+    def sample(self) -> np.ndarray:
+        return np.zeros(self._dim)
+
+    @property
+    def dimension(self) -> int:
+        return self._dim
+
+    @property
+    def covariance(self) -> np.ndarray:
+        return np.zeros((self._dim, self._dim))

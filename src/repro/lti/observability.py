@@ -1,0 +1,76 @@
+"""Observability and controllability analysis for LTI systems.
+
+Related work cited by the paper (Chong et al. [1], Fawzi et al. [3])
+characterizes when secure state estimation is possible via observability
+under attack.  These helpers let tests and examples verify that the
+car-following plant used in the case study is observable from the radar
+measurement, which is the structural condition the RLS recovery relies
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "observability_matrix",
+    "controllability_matrix",
+    "is_observable",
+    "is_controllable",
+    "unobservable_subspace_dimension",
+]
+
+
+def observability_matrix(A, C) -> np.ndarray:
+    """Build the Kalman observability matrix ``[C; CA; ...; CA^{n-1}]``."""
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    C = np.atleast_2d(np.asarray(C, dtype=float))
+    n = A.shape[0]
+    if A.shape != (n, n):
+        raise ValueError(f"A must be square, got {A.shape}")
+    if C.shape[1] != n:
+        raise ValueError(f"C must have {n} columns, got {C.shape}")
+    blocks = [C]
+    current = C
+    for _ in range(n - 1):
+        current = current @ A
+        blocks.append(current)
+    return np.vstack(blocks)
+
+
+def controllability_matrix(A, B) -> np.ndarray:
+    """Build the Kalman controllability matrix ``[B, AB, ..., A^{n-1}B]``."""
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    n = A.shape[0]
+    if A.shape != (n, n):
+        raise ValueError(f"A must be square, got {A.shape}")
+    if B.shape[0] != n:
+        raise ValueError(f"B must have {n} rows, got {B.shape}")
+    blocks = [B]
+    current = B
+    for _ in range(n - 1):
+        current = A @ current
+        blocks.append(current)
+    return np.hstack(blocks)
+
+
+def is_observable(A, C, tolerance: float = 1e-10) -> bool:
+    """Return True when ``(A, C)`` is observable (full-rank test)."""
+    obs = observability_matrix(A, C)
+    n = np.atleast_2d(np.asarray(A)).shape[0]
+    return int(np.linalg.matrix_rank(obs, tol=tolerance)) == n
+
+
+def is_controllable(A, B, tolerance: float = 1e-10) -> bool:
+    """Return True when ``(A, B)`` is controllable (full-rank test)."""
+    ctrl = controllability_matrix(A, B)
+    n = np.atleast_2d(np.asarray(A)).shape[0]
+    return int(np.linalg.matrix_rank(ctrl, tol=tolerance)) == n
+
+
+def unobservable_subspace_dimension(A, C, tolerance: float = 1e-10) -> int:
+    """Dimension of the unobservable subspace of ``(A, C)``."""
+    obs = observability_matrix(A, C)
+    n = np.atleast_2d(np.asarray(A)).shape[0]
+    return n - int(np.linalg.matrix_rank(obs, tol=tolerance))

@@ -1,0 +1,154 @@
+"""Discrete-time LTI plant model (paper §3, Eqns 1-2; §4, Eqns 3-4).
+
+    x[k+1] = A x[k] + B u[k]
+    y[k]   = C x[k] + v[k]
+
+Under attack the output becomes ``y'[k] = C x[k] + y_a[k] + v[k]`` where
+``y_a`` is zero-mean for a delay-injection counterfeit offset or an
+arbitrary vector ``r`` for DoS (Eqn 4).  The attack corruption itself is
+modelled by :mod:`repro.attacks`; this module only provides the clean
+plant and a simulation loop with an output-corruption hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lti.noise import MeasurementNoise, NoNoise
+
+__all__ = ["LTISystem", "simulate_lti"]
+
+OutputCorruption = Callable[[int, np.ndarray], np.ndarray]
+
+
+class LTISystem:
+    """A discrete-time linear time-invariant system ``(A, B, C)``.
+
+    Parameters
+    ----------
+    A:
+        State matrix, ``n x n``.
+    B:
+        Input matrix, ``n x m``.
+    C:
+        Output matrix, ``p x n``.
+    noise:
+        Additive measurement-noise source of dimension ``p``; defaults to
+        the ideal (zero) noise model.
+
+    Examples
+    --------
+    >>> sys = LTISystem(A=[[1.0, 1.0], [0.0, 1.0]],
+    ...                 B=[[0.5], [1.0]],
+    ...                 C=[[1.0, 0.0]])
+    >>> sys.n, sys.m, sys.p
+    (2, 1, 1)
+    """
+
+    def __init__(self, A, B, C, noise: Optional[MeasurementNoise] = None):
+        self.A = np.atleast_2d(np.asarray(A, dtype=float))
+        self.B = np.atleast_2d(np.asarray(B, dtype=float))
+        self.C = np.atleast_2d(np.asarray(C, dtype=float))
+        n = self.A.shape[0]
+        if self.A.shape != (n, n):
+            raise ValueError(f"A must be square, got {self.A.shape}")
+        if self.B.shape[0] != n:
+            raise ValueError(
+                f"B must have {n} rows to match A, got {self.B.shape}"
+            )
+        if self.C.shape[1] != n:
+            raise ValueError(
+                f"C must have {n} columns to match A, got {self.C.shape}"
+            )
+        self.noise = noise if noise is not None else NoNoise(self.C.shape[0])
+        if self.noise.dimension != self.p:
+            raise ValueError(
+                f"noise dimension {self.noise.dimension} does not match "
+                f"output dimension {self.p}"
+            )
+
+    @property
+    def n(self) -> int:
+        """State dimension."""
+        return self.A.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Input dimension."""
+        return self.B.shape[1]
+
+    @property
+    def p(self) -> int:
+        """Output dimension."""
+        return self.C.shape[0]
+
+    def step(self, x: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Advance the state one sample: ``x[k+1] = A x[k] + B u[k]``."""
+        x = np.asarray(x, dtype=float).reshape(self.n)
+        u = np.asarray(u, dtype=float).reshape(self.m)
+        return self.A @ x + self.B @ u
+
+    def output(self, x: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Produce the measurement ``y[k] = C x[k] + v[k]``."""
+        x = np.asarray(x, dtype=float).reshape(self.n)
+        y = self.C @ x
+        if noisy:
+            y = y + self.noise.sample()
+        return y
+
+    def is_stable(self) -> bool:
+        """Return True when all eigenvalues of ``A`` lie inside the unit circle."""
+        return bool(np.all(np.abs(np.linalg.eigvals(self.A)) < 1.0))
+
+    def dc_gain(self) -> np.ndarray:
+        """Steady-state gain ``C (I - A)^-1 B`` (requires no pole at z=1)."""
+        eye = np.eye(self.n)
+        return self.C @ np.linalg.solve(eye - self.A, self.B)
+
+
+def simulate_lti(
+    system: LTISystem,
+    x0: Sequence[float],
+    inputs: Sequence[Sequence[float]],
+    corruption: Optional[OutputCorruption] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run an open-loop simulation of ``system`` for ``len(inputs)`` steps.
+
+    Parameters
+    ----------
+    system:
+        The plant to simulate.
+    x0:
+        Initial state, length ``n``.
+    inputs:
+        Sequence of control inputs ``u[0..N-1]``, each of length ``m``.
+    corruption:
+        Optional hook ``(k, y) -> y'`` applied to each output sample,
+        implementing the attacked-output model of Eqns 3-4.
+
+    Returns
+    -------
+    (states, outputs):
+        ``states`` has shape ``(N+1, n)`` (including ``x0``), ``outputs``
+        has shape ``(N, p)``; ``outputs[k]`` is measured *before* the
+        state advances to ``k+1``.
+    """
+    x = np.asarray(x0, dtype=float).reshape(system.n)
+    u_arr = np.atleast_2d(np.asarray(inputs, dtype=float))
+    if u_arr.shape[1] != system.m:
+        raise ValueError(
+            f"inputs must have {system.m} columns, got {u_arr.shape[1]}"
+        )
+    steps = u_arr.shape[0]
+    states = np.empty((steps + 1, system.n))
+    outputs = np.empty((steps, system.p))
+    states[0] = x
+    for k in range(steps):
+        y = system.output(states[k])
+        if corruption is not None:
+            y = np.asarray(corruption(k, y), dtype=float).reshape(system.p)
+        outputs[k] = y
+        states[k + 1] = system.step(states[k], u_arr[k])
+    return states, outputs

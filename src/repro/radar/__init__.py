@@ -1,0 +1,77 @@
+"""FMCW automotive radar substrate (paper §4.1 and §6.2).
+
+The paper's case study senses the leader vehicle with a 77 GHz mm-wave
+FMCW long-range radar (Bosch LRR2 parameters).  This subpackage
+implements the full sensing chain from scratch:
+
+* :mod:`repro.radar.params` — waveform/antenna parameter sets and the
+  Bosch LRR2 preset used in the paper's experiments.
+* :mod:`repro.radar.equations` — the beat-frequency equations (Eqns 5-6)
+  and their inversion to distance / relative velocity (Eqns 7-8).
+* :mod:`repro.radar.link_budget` — the radar range equation (Eqn 9), the
+  jammer equation (Eqn 10) and the jamming-success ratio (Eqn 11).
+* :mod:`repro.radar.waveform` — the triangular frequency sweep and the
+  CRA binary modulation ``p'(t) = m(t) p(t)`` (paper §5.2).
+* :mod:`repro.radar.signal_synth` — complex baseband beat-signal
+  synthesis at the SNR given by the link budget (substitute for the
+  MATLAB Phased Array System Toolbox; see DESIGN.md §3).
+* :mod:`repro.radar.music` — a from-scratch root-MUSIC frequency
+  estimator (the paper extracts beat frequencies with root MUSIC).
+* :mod:`repro.radar.receiver` — presence detection + frequency
+  extraction + Eqns 7-8 inversion.
+* :mod:`repro.radar.sensor` — the end-to-end sensor with ``"signal"``
+  and ``"equation"`` fidelity modes and attack-injection hooks.
+"""
+
+from repro.radar.params import FMCWParameters, BOSCH_LRR2, bosch_lrr2
+from repro.radar.equations import (
+    beat_frequencies,
+    invert_beat_frequencies,
+    range_frequency,
+    doppler_frequency,
+    round_trip_delay,
+    max_unambiguous_beat_frequency,
+)
+from repro.radar.link_budget import (
+    JammerParameters,
+    received_power,
+    jammer_received_power,
+    jamming_power_ratio,
+    jamming_succeeds,
+    thermal_noise_power,
+    beat_snr,
+)
+from repro.radar.waveform import TriangularSweep, BinaryModulator
+from repro.radar.signal_synth import synthesize_beat_signal, complex_awgn
+from repro.radar.music import root_music, estimate_single_tone
+from repro.radar.receiver import RadarReceiver, ReceiverOutput
+from repro.radar.sensor import FMCWRadarSensor, AttackEffect
+
+__all__ = [
+    "FMCWParameters",
+    "BOSCH_LRR2",
+    "bosch_lrr2",
+    "beat_frequencies",
+    "invert_beat_frequencies",
+    "range_frequency",
+    "doppler_frequency",
+    "round_trip_delay",
+    "max_unambiguous_beat_frequency",
+    "JammerParameters",
+    "received_power",
+    "jammer_received_power",
+    "jamming_power_ratio",
+    "jamming_succeeds",
+    "thermal_noise_power",
+    "beat_snr",
+    "TriangularSweep",
+    "BinaryModulator",
+    "synthesize_beat_signal",
+    "complex_awgn",
+    "root_music",
+    "estimate_single_tone",
+    "RadarReceiver",
+    "ReceiverOutput",
+    "FMCWRadarSensor",
+    "AttackEffect",
+]

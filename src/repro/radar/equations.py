@@ -1,0 +1,141 @@
+"""FMCW beat-frequency equations (paper Eqns 5-8).
+
+For a triangular sweep with bandwidth ``Bs`` and segment time ``Ts`` the
+received echo from a target at distance ``d`` moving with relative
+velocity ``Δv`` is shifted by the round-trip delay ``τ = 2d/c`` and the
+Doppler shift ``f_D = 2Δv/λ``.  Mixing with the transmit signal yields
+one beat frequency per sweep segment:
+
+    f_b+ = (2 d / c) (Bs / Ts) - 2 Δv / λ        (Eqn 5, up-sweep)
+    f_b- = (2 d / c) (Bs / Ts) + 2 Δv / λ        (Eqn 6, down-sweep)
+
+which invert to
+
+    d  = c Ts (f_b+ + f_b-) / (4 Bs)             (Eqn 7)
+    Δv = λ (f_b- - f_b+) / 4                     (Eqn 8)
+
+Sign convention: ``Δv = v_leader - v_follower`` is positive when the gap
+is opening (range rate ``ḋ > 0``).  The paper's Eqn 7 omits the factor
+``c`` in the OCR text; dimensional analysis fixes the constant, and the
+round-trip property tests pin it down.
+
+The beat frequencies live in *complex baseband* after IQ dechirping, so
+negative values are representable and are preserved by the synthesizer
+and the root-MUSIC estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.radar.params import FMCWParameters
+from repro.units import SPEED_OF_LIGHT
+
+__all__ = [
+    "range_frequency",
+    "doppler_frequency",
+    "beat_frequencies",
+    "invert_beat_frequencies",
+    "round_trip_delay",
+    "max_unambiguous_beat_frequency",
+    "range_resolution",
+    "velocity_resolution",
+    "max_unambiguous_range",
+    "distance_from_extra_delay",
+    "extra_delay_for_distance_offset",
+]
+
+
+def round_trip_delay(distance: float) -> float:
+    """Two-way propagation delay ``τ = 2 d / c``, seconds."""
+    if distance < 0.0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    return 2.0 * distance / SPEED_OF_LIGHT
+
+
+def range_frequency(params: FMCWParameters, distance: float) -> float:
+    """Range-induced beat component ``(2 d / c)(Bs / Ts)``, hertz."""
+    return round_trip_delay(distance) * params.sweep_slope
+
+
+def doppler_frequency(params: FMCWParameters, relative_velocity: float) -> float:
+    """Doppler shift ``2 Δv / λ``, hertz.
+
+    Positive ``relative_velocity`` (opening gap) gives a positive shift
+    of the down-sweep beat and a negative shift of the up-sweep beat.
+    """
+    return 2.0 * relative_velocity / params.wavelength
+
+
+def beat_frequencies(
+    params: FMCWParameters, distance: float, relative_velocity: float
+) -> Tuple[float, float]:
+    """Forward model: Eqns 5-6, returns ``(f_b+, f_b-)`` in hertz."""
+    f_range = range_frequency(params, distance)
+    f_doppler = doppler_frequency(params, relative_velocity)
+    return f_range - f_doppler, f_range + f_doppler
+
+
+def invert_beat_frequencies(
+    params: FMCWParameters, f_up: float, f_down: float
+) -> Tuple[float, float]:
+    """Inverse model: Eqns 7-8, returns ``(distance, relative_velocity)``.
+
+    ``d = c Ts (f_b+ + f_b-) / (4 Bs)`` and ``Δv = λ (f_b- - f_b+) / 4``.
+    """
+    distance = SPEED_OF_LIGHT * params.sweep_time * (f_up + f_down) / (4.0 * params.sweep_bandwidth)
+    relative_velocity = params.wavelength * (f_down - f_up) / 4.0
+    return distance, relative_velocity
+
+
+def max_unambiguous_beat_frequency(params: FMCWParameters) -> float:
+    """Largest beat frequency representable by the sampled baseband (Nyquist)."""
+    return params.sample_rate / 2.0
+
+
+def distance_from_extra_delay(extra_delay: float) -> float:
+    """Apparent extra distance created by an injected delay ``τ'``.
+
+    A replayed echo delayed by ``τ'`` looks ``c τ' / 2`` meters farther
+    away (the delay-injection attack of §4.1).
+    """
+    if extra_delay < 0.0:
+        raise ValueError(f"extra delay must be non-negative, got {extra_delay}")
+    return SPEED_OF_LIGHT * extra_delay / 2.0
+
+
+def extra_delay_for_distance_offset(distance_offset: float) -> float:
+    """Injected delay required to spoof a given extra distance, seconds."""
+    if distance_offset < 0.0:
+        raise ValueError(f"distance offset must be non-negative, got {distance_offset}")
+    return 2.0 * distance_offset / SPEED_OF_LIGHT
+
+
+def range_resolution(params: FMCWParameters) -> float:
+    """Range resolution ``c / (2 Bs)``, meters.
+
+    Two targets closer than this cannot be separated by the sweep
+    bandwidth (1.0 m for the LRR2's 150 MHz).
+    """
+    return SPEED_OF_LIGHT / (2.0 * params.sweep_bandwidth)
+
+
+def velocity_resolution(params: FMCWParameters) -> float:
+    """Velocity resolution of one triangular period, m/s.
+
+    ``λ / (2 · T_obs)`` with the observation time ``T_obs = 2 Ts`` of
+    one up+down sweep pair (≈0.49 m/s for the LRR2 waveform); subspace
+    estimators like root-MUSIC resolve finer at high SNR, which the
+    accuracy bench demonstrates.
+    """
+    return params.wavelength / (4.0 * params.sweep_time)
+
+
+def max_unambiguous_range(params: FMCWParameters) -> float:
+    """Largest range whose beat frequency stays below Nyquist, meters."""
+    return (
+        max_unambiguous_beat_frequency(params)
+        * SPEED_OF_LIGHT
+        * params.sweep_time
+        / (2.0 * params.sweep_bandwidth)
+    )

@@ -1,0 +1,175 @@
+"""Radar range equation and jammer link budget (paper Eqns 9-11).
+
+Echo power at the radar receiver (Eqn 9, standard monostatic radar
+range equation — the OCR text abbreviates ``G² λ²`` as ``G A_o``):
+
+    P_r = Pt G² λ² σ / ((4π)³ d⁴ L)
+
+Jamming signal power received by the radar from a self-screening jammer
+(Eqn 10 — one-way propagation, hence ``d²``):
+
+    P_jammer = P_J G_J λ² G B / ((4π)² d² B_J L_J)
+
+and the attack-success criterion (Eqn 11): jamming swamps the echo when
+
+    P_r / P_jammer = Pt G σ B_J L_J / (4π P_J G_J d² B L)  < 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.radar.params import FMCWParameters, _KT0
+from repro.units import db_to_linear
+
+__all__ = [
+    "JammerParameters",
+    "received_power",
+    "jammer_received_power",
+    "jamming_power_ratio",
+    "jamming_succeeds",
+    "thermal_noise_power",
+    "beat_snr",
+    "burn_through_range",
+]
+
+_FOUR_PI = 4.0 * math.pi
+
+
+@dataclass(frozen=True)
+class JammerParameters:
+    """A self-screening noise jammer (paper §6.2 values as defaults).
+
+    Attributes
+    ----------
+    peak_power:
+        Jammer transmit power ``P_J``, watts (paper: 100 mW).
+    antenna_gain_db:
+        Jammer antenna gain ``G_J``, dBi (paper: 10 dBi).
+    bandwidth:
+        Jammer operating bandwidth ``B_J``, hertz (paper: 155 MHz).
+    loss_db:
+        Jammer losses ``L_J``, dB (paper: 0.10 dB).
+    """
+
+    peak_power: float = 100e-3
+    antenna_gain_db: float = 10.0
+    bandwidth: float = 155e6
+    loss_db: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.peak_power <= 0.0:
+            raise ConfigurationError(f"peak_power must be positive, got {self.peak_power}")
+        if self.bandwidth <= 0.0:
+            raise ConfigurationError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.loss_db < 0.0:
+            raise ConfigurationError(f"loss_db must be >= 0, got {self.loss_db}")
+
+    @property
+    def antenna_gain(self) -> float:
+        """Jammer antenna gain as a linear ratio."""
+        return db_to_linear(self.antenna_gain_db)
+
+    @property
+    def loss(self) -> float:
+        """Jammer losses as a linear ratio (>= 1)."""
+        return db_to_linear(self.loss_db)
+
+
+def received_power(
+    params: FMCWParameters, distance: float, rcs: Optional[float] = None
+) -> float:
+    """Echo power ``P_r`` at the radar receiver (Eqn 9), watts."""
+    if distance <= 0.0:
+        raise ValueError(f"distance must be positive, got {distance}")
+    sigma = params.default_rcs if rcs is None else rcs
+    if sigma <= 0.0:
+        raise ValueError(f"radar cross-section must be positive, got {sigma}")
+    gain = params.antenna_gain
+    numerator = params.transmit_power * gain * gain * params.wavelength**2 * sigma
+    denominator = _FOUR_PI**3 * distance**4 * params.system_loss
+    return numerator / denominator
+
+
+def jammer_received_power(
+    params: FMCWParameters, jammer: JammerParameters, distance: float
+) -> float:
+    """Jamming power received inside the radar band (Eqn 10), watts.
+
+    The ``B / B_J`` factor accounts for the fraction of the jammer's
+    noise bandwidth that falls inside the radar's sweep bandwidth.
+    """
+    if distance <= 0.0:
+        raise ValueError(f"distance must be positive, got {distance}")
+    band_fraction = min(1.0, params.sweep_bandwidth / jammer.bandwidth)
+    numerator = (
+        jammer.peak_power
+        * jammer.antenna_gain
+        * params.wavelength**2
+        * params.antenna_gain
+        * band_fraction
+    )
+    denominator = _FOUR_PI**2 * distance**2 * jammer.loss
+    return numerator / denominator
+
+
+def jamming_power_ratio(
+    params: FMCWParameters,
+    jammer: JammerParameters,
+    distance: float,
+    rcs: Optional[float] = None,
+) -> float:
+    """The paper's attack-success ratio ``P_r / P_jammer`` (Eqn 11)."""
+    return received_power(params, distance, rcs) / jammer_received_power(
+        params, jammer, distance
+    )
+
+
+def jamming_succeeds(
+    params: FMCWParameters,
+    jammer: JammerParameters,
+    distance: float,
+    rcs: Optional[float] = None,
+) -> bool:
+    """True when the jamming attack succeeds, i.e. Eqn 11's ratio < 1."""
+    return jamming_power_ratio(params, jammer, distance, rcs) < 1.0
+
+
+def burn_through_range(
+    params: FMCWParameters,
+    jammer: JammerParameters,
+    rcs: Optional[float] = None,
+) -> float:
+    """Distance below which the echo out-powers the jammer ("burn-through").
+
+    Solves ``P_r(d) = P_jammer(d)`` for ``d``; jamming succeeds for all
+    targets farther than this range.  Since ``P_r ∝ d⁻⁴`` and
+    ``P_jammer ∝ d⁻²`` the ratio scales as ``d⁻²``:
+
+        d_bt = sqrt(ratio(d0)) * d0    for any reference d0.
+    """
+    reference = 1.0
+    ratio_at_reference = jamming_power_ratio(params, jammer, reference, rcs)
+    return math.sqrt(ratio_at_reference) * reference
+
+
+def thermal_noise_power(params: FMCWParameters, bandwidth: Optional[float] = None) -> float:
+    """Thermal noise power ``k T0 F B`` over ``bandwidth``, watts.
+
+    Defaults to the sampled beat bandwidth (the radar's ``sample_rate``),
+    which is what the synthesized baseband noise is scaled to.
+    """
+    band = params.sample_rate if bandwidth is None else bandwidth
+    if band <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {band}")
+    return _KT0 * params.noise_figure * band
+
+
+def beat_snr(
+    params: FMCWParameters, distance: float, rcs: Optional[float] = None
+) -> float:
+    """Echo-to-noise linear power ratio in the sampled beat bandwidth."""
+    return received_power(params, distance, rcs) / thermal_noise_power(params)

@@ -1,0 +1,156 @@
+"""FMCW radar parameter sets, including the paper's Bosch LRR2 preset.
+
+All values quoted in the paper (§4.1 and §6): carrier 77 GHz, sweep
+bandwidth ``Bs = 150 MHz``, sweep time ``Ts = 2 ms``, wavelength
+``λ = 3.89 mm``, transmit power ``Pt = 10 mW``, antenna gain
+``G = 28 dBi``, system losses ``L = 0.10 dB``, operating range
+``2 m ≤ d ≤ 200 m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+from repro.units import SPEED_OF_LIGHT, db_to_linear, ghz, mhz, milliseconds, millimeters
+
+__all__ = ["FMCWParameters", "BOSCH_LRR2", "bosch_lrr2"]
+
+#: Boltzmann constant times standard temperature (290 K), W/Hz.
+_KT0 = 1.380649e-23 * 290.0
+
+
+@dataclass(frozen=True)
+class FMCWParameters:
+    """Parameters of a triangular-sweep FMCW radar.
+
+    Attributes
+    ----------
+    carrier_frequency:
+        RF carrier, hertz (77 GHz for automotive long-range radar).
+    sweep_bandwidth:
+        Sweep bandwidth ``Bs``, hertz.
+    sweep_time:
+        Duration ``Ts`` of one (up or down) sweep segment, seconds.
+    wavelength:
+        Carrier wavelength ``λ``, meters.  The paper quotes 3.89 mm which
+        matches ``c / 77 GHz`` to three significant figures.
+    transmit_power:
+        Peak transmitted power ``Pt``, watts.
+    antenna_gain_db:
+        Antenna gain ``G``, dBi (applied on both transmit and receive).
+    system_loss_db:
+        Lumped system losses ``L``, dB.
+    min_range, max_range:
+        Specified operating-range envelope, meters.
+    default_rcs:
+        Scattering cross-section ``σ`` assumed for the target when the
+        caller does not supply one, square meters (≈10 m² for a sedan's
+        rear).
+    noise_figure_db:
+        Receiver noise figure, dB; sets the thermal noise floor together
+        with ``kT0`` and the processed bandwidth.
+    sample_rate:
+        Beat-signal (post-dechirp) complex sample rate, hertz.
+    samples_per_segment:
+        Number of beat-signal samples collected per sweep segment.
+    """
+
+    carrier_frequency: float = ghz(77.0)
+    sweep_bandwidth: float = mhz(150.0)
+    sweep_time: float = milliseconds(2.0)
+    wavelength: float = millimeters(3.89)
+    transmit_power: float = 10e-3
+    antenna_gain_db: float = 28.0
+    system_loss_db: float = 0.10
+    min_range: float = 2.0
+    max_range: float = 200.0
+    default_rcs: float = 10.0
+    noise_figure_db: float = 10.0
+    sample_rate: float = 256e3
+    samples_per_segment: int = 256
+
+    def __post_init__(self) -> None:
+        positives = {
+            "carrier_frequency": self.carrier_frequency,
+            "sweep_bandwidth": self.sweep_bandwidth,
+            "sweep_time": self.sweep_time,
+            "wavelength": self.wavelength,
+            "transmit_power": self.transmit_power,
+            "default_rcs": self.default_rcs,
+            "sample_rate": self.sample_rate,
+        }
+        for name, value in positives.items():
+            if value <= 0.0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.min_range <= 0.0 or self.max_range <= self.min_range:
+            raise ConfigurationError(
+                f"invalid range envelope [{self.min_range}, {self.max_range}]"
+            )
+        if self.samples_per_segment < 8:
+            raise ConfigurationError(
+                "samples_per_segment must be >= 8 for spectral estimation, "
+                f"got {self.samples_per_segment}"
+            )
+        if self.system_loss_db < 0.0 or self.noise_figure_db < 0.0:
+            raise ConfigurationError("losses and noise figure must be >= 0 dB")
+        # The beat signal of the farthest in-envelope target must be
+        # representable below Nyquist, or the receiver cannot see it.
+        max_beat = (
+            2.0 * self.max_range * self.sweep_bandwidth
+            / (SPEED_OF_LIGHT * self.sweep_time)
+        )
+        if max_beat >= self.sample_rate / 2.0:
+            raise ConfigurationError(
+                f"max in-envelope beat frequency {max_beat:.0f} Hz exceeds "
+                f"Nyquist {self.sample_rate / 2.0:.0f} Hz"
+            )
+
+    @property
+    def sweep_slope(self) -> float:
+        """Chirp slope ``Bs / Ts``, Hz/s."""
+        return self.sweep_bandwidth / self.sweep_time
+
+    @property
+    def antenna_gain(self) -> float:
+        """Antenna gain as a linear ratio."""
+        return db_to_linear(self.antenna_gain_db)
+
+    @property
+    def system_loss(self) -> float:
+        """System losses as a linear ratio (>= 1)."""
+        return db_to_linear(self.system_loss_db)
+
+    @property
+    def noise_figure(self) -> float:
+        """Receiver noise figure as a linear ratio (>= 1)."""
+        return db_to_linear(self.noise_figure_db)
+
+    @property
+    def noise_floor(self) -> float:
+        """Thermal noise power in the sampled beat bandwidth, watts.
+
+        ``k T0 * F * fs`` — the per-sample complex noise power the
+        synthesized beat signal is generated with.
+        """
+        return _KT0 * self.noise_figure * self.sample_rate
+
+    def with_overrides(self, **kwargs) -> "FMCWParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's Bosch LRR2 long-range radar configuration (§4.1, §6).
+BOSCH_LRR2 = FMCWParameters()
+
+
+def bosch_lrr2(**overrides) -> FMCWParameters:
+    """Return the Bosch LRR2 preset, optionally with overridden fields.
+
+    Examples
+    --------
+    >>> radar = bosch_lrr2(default_rcs=5.0)
+    >>> radar.sweep_bandwidth
+    150000000.0
+    """
+    return BOSCH_LRR2.with_overrides(**overrides) if overrides else BOSCH_LRR2

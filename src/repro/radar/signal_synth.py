@@ -1,0 +1,109 @@
+"""Complex baseband beat-signal synthesis.
+
+This is the substitute for the MATLAB Phased Array System Toolbox used
+by the paper (DESIGN.md §3).  After dechirping, a point target appears
+in the receiver as a single complex sinusoid at the beat frequency with
+amplitude set by the radar range equation; thermal noise and jamming
+appear as complex AWGN.  Synthesizing exactly that is sufficient for
+everything downstream (root-MUSIC extraction, Eqns 7-8 inversion,
+presence detection and the CRA check) because those stages only observe
+the dechirped baseband.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["synthesize_beat_signal", "complex_awgn", "signal_power", "combine_components"]
+
+
+def complex_awgn(n_samples: int, power: float, rng: np.random.Generator) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian noise with total power ``power``.
+
+    Each sample has variance ``power`` split evenly between the real and
+    imaginary parts.
+    """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    if power < 0.0:
+        raise ValueError(f"noise power must be >= 0, got {power}")
+    scale = np.sqrt(power / 2.0)
+    return scale * (
+        rng.standard_normal(n_samples) + 1j * rng.standard_normal(n_samples)
+    )
+
+
+def synthesize_beat_signal(
+    frequency: float,
+    power: float,
+    n_samples: int,
+    sample_rate: float,
+    rng: Optional[np.random.Generator] = None,
+    noise_power: float = 0.0,
+    phase: Optional[float] = None,
+) -> np.ndarray:
+    """Synthesize one dechirped echo: a complex sinusoid plus AWGN.
+
+    Parameters
+    ----------
+    frequency:
+        Beat frequency in hertz; may be negative (complex baseband).
+        Must satisfy ``|frequency| < sample_rate / 2``.
+    power:
+        Sinusoid power (i.e. squared amplitude), watts.
+    n_samples:
+        Number of complex samples.
+    sample_rate:
+        Sample rate in hertz.
+    rng:
+        Random generator for the noise and the random initial phase;
+        required when ``noise_power > 0`` or ``phase`` is None.
+    noise_power:
+        Total complex AWGN power to add, watts.
+    phase:
+        Initial phase in radians; drawn uniformly when None.
+    """
+    if sample_rate <= 0.0:
+        raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+    if abs(frequency) >= sample_rate / 2.0:
+        raise ValueError(
+            f"beat frequency {frequency:.1f} Hz exceeds Nyquist "
+            f"{sample_rate / 2.0:.1f} Hz"
+        )
+    if power < 0.0:
+        raise ValueError(f"signal power must be >= 0, got {power}")
+    needs_rng = noise_power > 0.0 or phase is None
+    if needs_rng and rng is None:
+        raise ValueError("an rng is required for noise or a random phase")
+    if phase is None:
+        phase = float(rng.uniform(0.0, 2.0 * np.pi))
+    t = np.arange(n_samples) / sample_rate
+    signal = np.sqrt(power) * np.exp(1j * (2.0 * np.pi * frequency * t + phase))
+    if noise_power > 0.0:
+        signal = signal + complex_awgn(n_samples, noise_power, rng)
+    return signal
+
+
+def combine_components(components: Iterable[np.ndarray]) -> np.ndarray:
+    """Sum an iterable of equal-length complex component signals.
+
+    Returns an empty array when the iterable is empty.
+    """
+    parts: Sequence[np.ndarray] = [np.asarray(c, dtype=complex) for c in components]
+    if not parts:
+        return np.zeros(0, dtype=complex)
+    length = len(parts[0])
+    for part in parts:
+        if len(part) != length:
+            raise ValueError("all components must have the same length")
+    return np.sum(parts, axis=0)
+
+
+def signal_power(signal: np.ndarray) -> float:
+    """Mean per-sample power of a complex signal."""
+    signal = np.asarray(signal)
+    if signal.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(signal) ** 2))

@@ -1,0 +1,98 @@
+"""Triangular FMCW sweep and the CRA binary modulation (paper §4.1, §5.2).
+
+The transmitted waveform sweeps linearly up over ``Ts`` seconds and back
+down over the next ``Ts`` (a triangular modulation).  The CRA defense
+multiplies the probe by a pseudo-random binary signal ``m(t) ∈ {0, 1}``:
+
+    p'(t) = m(t) p(t)
+
+so that at the secret challenge instants ``T_c`` (where ``m = 0``)
+nothing is transmitted and an honest environment returns silence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.radar.params import FMCWParameters
+
+__all__ = ["TriangularSweep", "BinaryModulator"]
+
+
+class TriangularSweep:
+    """The instantaneous-frequency trajectory of a triangular FMCW sweep.
+
+    One full modulation period is ``2 Ts``: an up-sweep from
+    ``fc - Bs/2`` to ``fc + Bs/2`` followed by the mirror down-sweep.
+    """
+
+    def __init__(self, params: FMCWParameters):
+        self.params = params
+
+    @property
+    def period(self) -> float:
+        """Full triangular period ``2 Ts``, seconds."""
+        return 2.0 * self.params.sweep_time
+
+    def instantaneous_frequency(self, t) -> np.ndarray:
+        """Transmit frequency at time(s) ``t`` (seconds), hertz.
+
+        Vectorized over ``t``; times are wrapped into one period.
+        """
+        params = self.params
+        t = np.asarray(t, dtype=float)
+        phase_time = np.mod(t, self.period)
+        up = phase_time < params.sweep_time
+        f_low = params.carrier_frequency - params.sweep_bandwidth / 2.0
+        f_high = params.carrier_frequency + params.sweep_bandwidth / 2.0
+        slope = params.sweep_slope
+        freq = np.where(
+            up,
+            f_low + slope * phase_time,
+            f_high - slope * (phase_time - params.sweep_time),
+        )
+        return freq
+
+    def segment_of(self, t) -> np.ndarray:
+        """Return ``+1`` for times in the up-sweep, ``-1`` for the down-sweep."""
+        phase_time = np.mod(np.asarray(t, dtype=float), self.period)
+        return np.where(phase_time < self.params.sweep_time, 1, -1)
+
+    def sample_times(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Beat-signal sample instants for the up and down segments."""
+        params = self.params
+        n = params.samples_per_segment
+        dt = 1.0 / params.sample_rate
+        up_times = np.arange(n) * dt
+        down_times = params.sweep_time + np.arange(n) * dt
+        return up_times, down_times
+
+
+class BinaryModulator:
+    """The CRA pseudo-random on/off modulation ``m(t)`` applied per sample.
+
+    The scheduler (:class:`repro.core.cra.ChallengeSchedule`) decides at
+    which *discrete sample instants* ``k`` the probe is suppressed; this
+    class is the waveform-level view: it gates a transmit envelope to
+    zero for challenged samples.
+    """
+
+    def __init__(self, params: FMCWParameters):
+        self.params = params
+
+    def apply(self, envelope: np.ndarray, transmit: bool) -> np.ndarray:
+        """Gate a transmit ``envelope`` with ``m = 1`` or ``m = 0``.
+
+        Returns the envelope unchanged when ``transmit`` is True and an
+        all-zero array of the same shape otherwise.
+        """
+        envelope = np.asarray(envelope, dtype=complex)
+        if transmit:
+            return envelope
+        return np.zeros_like(envelope)
+
+    def modulation_value(self, transmit: bool) -> int:
+        """The binary modulation value ``m(t)`` for this instant."""
+        return 1 if transmit else 0

@@ -1,0 +1,62 @@
+"""Closed-loop car-following simulation (paper §6).
+
+* :mod:`repro.simulation.scenario` — declarative description of one
+  experiment (vehicles, radar, challenge schedule, attack, defense
+  configuration), with factories for the paper's Figure 2/3 scenarios.
+* :mod:`repro.simulation.engine` — the step loop that wires leader,
+  follower, radar, attack, defense pipeline and ACC together.
+* :mod:`repro.simulation.results` — trace containers and summaries.
+* :mod:`repro.simulation.runner` — convenience drivers that run the
+  (baseline / attacked / defended) triple each figure plots.
+"""
+
+from repro.simulation.scenario import (
+    Scenario,
+    DefenseConfig,
+    paper_challenge_times,
+    fig2_scenario,
+    fig3_scenario,
+)
+from repro.simulation.engine import CarFollowingSimulation
+from repro.simulation.results import SimulationResult, ResultSummary
+from repro.simulation.runner import FigureData, run_figure_scenario, run_single
+from repro.simulation.platoon import PlatoonScenario, PlatoonResult, PlatoonSimulation
+from repro.simulation.io import export_csv, export_json, load_json
+from repro.simulation.spec import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.simulation.monte_carlo import (
+    MonteCarloSummary,
+    SeedOutcome,
+    run_monte_carlo,
+)
+
+__all__ = [
+    "Scenario",
+    "DefenseConfig",
+    "paper_challenge_times",
+    "fig2_scenario",
+    "fig3_scenario",
+    "CarFollowingSimulation",
+    "SimulationResult",
+    "ResultSummary",
+    "FigureData",
+    "run_figure_scenario",
+    "run_single",
+    "PlatoonScenario",
+    "PlatoonResult",
+    "PlatoonSimulation",
+    "export_csv",
+    "export_json",
+    "load_json",
+    "run_monte_carlo",
+    "MonteCarloSummary",
+    "SeedOutcome",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+]

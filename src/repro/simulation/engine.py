@@ -1,0 +1,281 @@
+"""The closed-loop car-following step loop (paper Figure 1).
+
+Each discrete step ``k``:
+
+1. compute the true scene geometry (gap, relative velocity);
+2. apply the CRA modulation decision ``m(k)`` (the radar always carries
+   the modified modulator — the challenge "spikes to zero" appear in
+   every run, exactly as in the paper's figures);
+3. resolve the active attack's injection and produce the raw radar
+   measurement;
+4. feed the measurement to the defense pipeline (when defended) or to a
+   simple coasting tracker (when not) to obtain what the controller
+   sees;
+5. run the ACC hierarchy and advance both vehicles' kinematics.
+
+A collision (gap reaching zero) is recorded at its first occurrence;
+the run continues with the radar geometry floored at a small positive
+gap so that full-horizon traces remain comparable across runs (the
+paper's plots likewise continue past the unsafe approach; see
+DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.attacks.base import Attack
+from repro.core.adaptive_cra import AdaptiveChallengePolicy
+from repro.core.cra import ChallengeSchedule
+from repro.core.detector import CRADetector
+from repro.core.dead_reckoning import DeadReckoningEstimator
+from repro.core.pipeline import SafeMeasurementPipeline
+from repro.core.predictor import (
+    ChannelPredictor,
+    MeasurementEstimator,
+    RadarChannelEstimator,
+)
+from repro.radar.sensor import FMCWRadarSensor
+from repro.radar.tracker import AlphaBetaTracker
+from repro.simulation.results import SimulationResult
+from repro.simulation.scenario import Scenario
+from repro.types import RadarMeasurement
+from repro.vehicle.acc import ACCSystem
+from repro.vehicle.idm import IDMFollowerController
+from repro.vehicle.kinematics import advance_state
+from repro.vehicle.state import VehicleState
+from repro.vehicle.upper_controller import ControlMode
+
+__all__ = ["CarFollowingSimulation", "build_defense_pipeline"]
+
+#: Floor applied to the radar-visible gap after a collision so that the
+#: sensing chain stays defined for the remainder of the run.
+_POST_COLLISION_GAP_FLOOR = 0.5
+
+
+def build_defense_pipeline(
+    scenario: Scenario, schedule=None
+) -> SafeMeasurementPipeline:
+    """Construct the CRA + RLS pipeline a scenario's defense describes.
+
+    ``schedule`` overrides the scenario's static schedule — used to
+    share an :class:`AdaptiveChallengePolicy` between the radar
+    modulator and the detector.
+    """
+    defense = scenario.defense
+    detector = CRADetector(
+        schedule=schedule if schedule is not None else scenario.schedule(),
+        zero_tolerance=defense.zero_tolerance,
+    )
+
+    def make_channel() -> ChannelPredictor:
+        return ChannelPredictor(
+            basis=defense.make_basis(),
+            forgetting=defense.forgetting,
+            delta=defense.delta,
+            time_scale=defense.time_scale,
+            sample_period=scenario.sample_period,
+            min_training_samples=defense.min_training_samples,
+            adaptive_forgetting=defense.adaptive_forgetting,
+            min_forgetting=defense.min_forgetting,
+        )
+
+    estimator: MeasurementEstimator
+    if defense.estimator_kind == "dead_reckoning":
+        estimator = DeadReckoningEstimator(
+            leader_velocity_predictor=make_channel(),
+            sample_period=scenario.sample_period,
+            margin_gain=defense.margin_gain,
+        )
+    else:
+        estimator = RadarChannelEstimator(
+            distance_predictor=make_channel(),
+            velocity_predictor=make_channel(),
+        )
+    return SafeMeasurementPipeline(
+        detector=detector,
+        estimator=estimator,
+        rollback_on_detection=defense.rollback_on_detection,
+    )
+
+
+class CarFollowingSimulation:
+    """One configured closed-loop run.
+
+    Parameters
+    ----------
+    scenario:
+        The experiment description.
+    attack_enabled:
+        When False the scenario's attack is ignored (baseline run).
+    defended:
+        When True the Algorithm 2 pipeline is inserted between radar and
+        controller; when False the controller consumes raw measurements
+        through a coasting tracker (hold-last on zero outputs).
+    name:
+        Label for the result; derived from the configuration if omitted.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        attack_enabled: bool = True,
+        defended: bool = True,
+        name: Optional[str] = None,
+    ):
+        self.scenario = scenario
+        self.attack: Optional[Attack] = scenario.attack if attack_enabled else None
+        self.defended = defended
+        # Adaptive challenge policy (optional): modulator and detector
+        # must share the same decision record.
+        self.challenge_policy = (
+            AdaptiveChallengePolicy(
+                scenario.schedule(), scenario.adaptive_challenge_period
+            )
+            if defended and scenario.adaptive_challenge_period is not None
+            else None
+        )
+        self.pipeline = (
+            build_defense_pipeline(scenario, schedule=self.challenge_policy)
+            if defended
+            else None
+        )
+        # The undefended stack is a conventional radar tracker that
+        # coasts through empty returns (challenge instants look like
+        # ordinary missed detections to it).
+        self.tracker = (
+            None
+            if defended
+            else AlphaBetaTracker(sample_period=scenario.sample_period)
+        )
+        if name is None:
+            mode = "defended" if defended else "undefended"
+            attack_tag = self.attack.label.value if self.attack else "clean"
+            name = f"{scenario.name}/{attack_tag}/{mode}"
+        self.name = name
+
+    # ------------------------------------------------------------------
+
+    def _controller_view(
+        self,
+        measurement: RadarMeasurement,
+        follower_speed: float,
+    ) -> Tuple[Optional[Tuple[float, float]], bool, bool]:
+        """Resolve what the ACC sees for this sample.
+
+        Returns ``(view, estimated, attack_active)``.
+        """
+        if self.pipeline is not None:
+            safe = self.pipeline.process(measurement, follower_speed=follower_speed)
+            return (
+                (safe.distance, safe.relative_velocity),
+                safe.estimated,
+                safe.attack_active,
+            )
+        # Undefended: the alpha-beta tracker smooths detections and
+        # coasts through empty returns (a challenge instant looks like
+        # an ordinary missed detection to it).
+        coasting = measurement.is_zero_output(1e-9)
+        detection = (
+            None
+            if coasting
+            else (measurement.distance, measurement.relative_velocity)
+        )
+        track = self.tracker.update(detection)
+        return track, coasting and track is not None, False
+
+    def run(self) -> SimulationResult:
+        """Execute the full run and return its traces."""
+        scenario = self.scenario
+        schedule: ChallengeSchedule = scenario.schedule()
+        sensor = FMCWRadarSensor(
+            params=scenario.radar_params,
+            fidelity=scenario.fidelity,
+            seed=scenario.sensor_seed,
+            **scenario.sensor_noise_overrides(),
+        )
+        if scenario.follower_policy == "idm":
+            acc = IDMFollowerController(
+                params=scenario.idm_params, acc_params=scenario.acc_params
+            )
+        else:
+            acc = ACCSystem(scenario.acc_params)
+        leader = VehicleState(
+            position=scenario.initial_distance,
+            velocity=scenario.leader_initial_speed,
+        )
+        follower = VehicleState(position=0.0, velocity=scenario.follower_initial_speed)
+
+        result = SimulationResult.empty(
+            self.name,
+            attack_name=self.attack.label.value if self.attack else "none",
+            defended=self.defended,
+        )
+        for time in scenario.times():
+            true_gap = leader.position - follower.position
+            if true_gap <= 0.0 and result.collision_time is None:
+                result.collision_time = time
+            radar_gap = max(true_gap, _POST_COLLISION_GAP_FLOOR)
+            true_relative_velocity = leader.velocity - follower.velocity
+
+            if self.challenge_policy is not None:
+                transmit = not self.challenge_policy.decide(
+                    time, self.pipeline.attack_active
+                )
+            else:
+                transmit = not schedule.is_challenge(time)
+            effect = (
+                self.attack.effect_at(time, radar_gap, true_relative_velocity)
+                if self.attack is not None
+                else None
+            )
+            measurement = sensor.measure(
+                time,
+                radar_gap,
+                true_relative_velocity,
+                transmit=transmit,
+                effect=effect,
+            )
+            # The paper assumes the ego-speed sensor is trusted; the
+            # ego_speed_bias knob stresses that assumption (the defense
+            # sees the biased value, the physics uses the true one).
+            sensed_ego_speed = (
+                scenario.ego_speed_gain * follower.velocity
+                + scenario.ego_speed_bias
+            )
+            view, estimated, attack_active = self._controller_view(
+                measurement, sensed_ego_speed
+            )
+            step = acc.step(follower.velocity, view)
+
+            result.record(
+                time,
+                leader_position=leader.position,
+                leader_velocity=leader.velocity,
+                follower_position=follower.position,
+                follower_velocity=follower.velocity,
+                follower_acceleration=step.actual_acceleration,
+                true_distance=true_gap,
+                true_relative_velocity=true_relative_velocity,
+                measured_distance=measurement.distance,
+                measured_relative_velocity=measurement.relative_velocity,
+                safe_distance=view[0] if view is not None else 0.0,
+                safe_relative_velocity=view[1] if view is not None else 0.0,
+                desired_distance=step.upper.desired_distance,
+                desired_acceleration=step.desired_acceleration,
+                pedal_acceleration=step.actuation.pedal_acceleration,
+                brake_pressure=step.actuation.brake_pressure,
+                spacing_mode=1.0 if step.mode is ControlMode.SPACING else 0.0,
+                estimated_flag=1.0 if estimated else 0.0,
+                attack_active_flag=1.0 if attack_active else 0.0,
+            )
+
+            leader_acceleration = scenario.leader_profile.acceleration(time)
+            leader = advance_state(leader, leader_acceleration, scenario.sample_period)
+            follower = advance_state(
+                follower, step.actual_acceleration, scenario.sample_period
+            )
+
+        if self.pipeline is not None:
+            result.detection_events = self.pipeline.detection_events
+        return result

@@ -1,0 +1,97 @@
+"""Persistence for simulation results (CSV and JSON).
+
+Lets a run's traces leave the process — for external plotting, diffing
+two builds of the library, or archiving the regenerated figure data
+next to the paper's.  CSV carries the trace matrix (one column per
+trace); JSON additionally round-trips the metadata (detection events,
+collision time, attack label).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.simulation.results import SimulationResult
+from repro.types import DetectionEvent, TimeSeries
+
+__all__ = ["export_csv", "export_json", "load_json"]
+
+PathLike = Union[str, Path]
+
+
+def export_csv(result: SimulationResult, path: PathLike) -> Path:
+    """Write a result's traces as one CSV (``time`` + one column each).
+
+    All traces share the simulation's uniform sample grid, so a single
+    rectangular table is lossless.
+    """
+    path = Path(path)
+    names = sorted(result.traces)
+    times = result.times
+    columns = {name: result.array(name) for name in names}
+    for name, values in columns.items():
+        if len(values) != len(times):
+            raise ValueError(
+                f"trace {name!r} has {len(values)} samples, expected {len(times)}"
+            )
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", *names])
+        for i, t in enumerate(times):
+            writer.writerow([t, *(columns[name][i] for name in names)])
+    return path
+
+
+def export_json(result: SimulationResult, path: PathLike) -> Path:
+    """Write a result (traces + metadata) as JSON."""
+    path = Path(path)
+    payload = {
+        "name": result.name,
+        "attack_name": result.attack_name,
+        "defended": result.defended,
+        "collision_time": result.collision_time,
+        "detection_events": [
+            {
+                "time": e.time,
+                "attack_detected": e.attack_detected,
+                "receiver_output": e.receiver_output,
+            }
+            for e in result.detection_events
+        ],
+        "traces": {
+            name: {"times": series.times, "values": series.values}
+            for name, series in result.traces.items()
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_json(path: PathLike) -> SimulationResult:
+    """Reload a result previously written with :func:`export_json`."""
+    payload = json.loads(Path(path).read_text())
+    traces = {}
+    for name, data in payload["traces"].items():
+        series = TimeSeries(name)
+        for t, v in zip(data["times"], data["values"]):
+            series.append(float(t), float(v))
+        traces[name] = series
+    result = SimulationResult(
+        name=payload["name"],
+        traces=traces,
+        detection_events=[
+            DetectionEvent(
+                time=float(e["time"]),
+                attack_detected=bool(e["attack_detected"]),
+                receiver_output=float(e["receiver_output"]),
+            )
+            for e in payload["detection_events"]
+        ],
+        collision_time=payload["collision_time"],
+        attack_name=payload["attack_name"],
+        defended=payload["defended"],
+    )
+    return result

@@ -1,0 +1,125 @@
+"""Monte-Carlo evaluation over sensor-noise seeds.
+
+The paper's evaluation is single-run; robustness statements about a
+stochastic defense need distributions.  This module runs a scenario
+configuration over many seeds and aggregates the safety and detection
+metrics — the utility behind the seed-robustness claims in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import detection_latency
+from repro.simulation.engine import CarFollowingSimulation
+from repro.simulation.scenario import Scenario
+
+__all__ = ["SeedOutcome", "MonteCarloSummary", "run_monte_carlo"]
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """Metrics of one seeded run."""
+
+    seed: int
+    min_gap: float
+    collided: bool
+    detection_time: Optional[float]
+    detection_latency: Optional[float]
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Aggregate over all seeded runs.
+
+    ``detection_rate`` counts runs whose attack (if any) was detected;
+    it is ``None`` for attack-free configurations.
+    """
+
+    outcomes: Sequence[SeedOutcome]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def collision_count(self) -> int:
+        return sum(outcome.collided for outcome in self.outcomes)
+
+    @property
+    def worst_min_gap(self) -> float:
+        return min(outcome.min_gap for outcome in self.outcomes)
+
+    @property
+    def mean_min_gap(self) -> float:
+        return float(np.mean([outcome.min_gap for outcome in self.outcomes]))
+
+    @property
+    def detection_rate(self) -> Optional[float]:
+        detected = [o.detection_time is not None for o in self.outcomes]
+        if not detected:
+            return None
+        return sum(detected) / len(detected)
+
+    @property
+    def detection_times(self) -> List[float]:
+        return [
+            o.detection_time for o in self.outcomes if o.detection_time is not None
+        ]
+
+    def as_row(self, label: str) -> dict:
+        """Flat dict for :func:`repro.analysis.tables.render_table`."""
+        times = self.detection_times
+        return {
+            "configuration": label,
+            "runs": self.n_runs,
+            "collisions": self.collision_count,
+            "worst_min_gap_m": round(self.worst_min_gap, 2),
+            "mean_min_gap_m": round(self.mean_min_gap, 2),
+            "detection_rate": self.detection_rate,
+            "detection_time_s": (
+                round(float(np.median(times)), 1) if times else None
+            ),
+        }
+
+
+def run_monte_carlo(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    attack_enabled: bool = True,
+    defended: bool = True,
+) -> MonteCarloSummary:
+    """Run ``scenario`` once per seed and aggregate the outcomes.
+
+    Only the sensor seed varies between runs; everything else (attack
+    timing, challenge schedule, defense configuration) is held fixed.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    outcomes: List[SeedOutcome] = []
+    for seed in seeds:
+        seeded = scenario.with_overrides(sensor_seed=int(seed))
+        result = CarFollowingSimulation(
+            seeded, attack_enabled=attack_enabled, defended=defended
+        ).run()
+        attack = seeded.attack if attack_enabled else None
+        detections = result.detection_times
+        latency = (
+            detection_latency(result, attack)
+            if attack is not None and detections
+            else None
+        )
+        outcomes.append(
+            SeedOutcome(
+                seed=int(seed),
+                min_gap=result.min_gap(),
+                collided=result.collided,
+                detection_time=detections[0] if detections else None,
+                detection_latency=latency,
+            )
+        )
+    return MonteCarloSummary(outcomes=tuple(outcomes))

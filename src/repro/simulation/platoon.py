@@ -1,0 +1,286 @@
+"""Multi-vehicle platoon simulation.
+
+The paper's case study is a two-vehicle car-following pair; an ACC
+deployment is a *platoon* — a chain of followers, each ranging on its
+predecessor with its own radar.  This module extends the closed-loop
+engine to N followers and lets an attack target any one vehicle's radar,
+answering two questions the paper's setting raises naturally:
+
+* does a sensor attack on one vehicle propagate down the chain (string
+  stability under attack)?
+* does defending the attacked vehicle alone contain the disturbance?
+
+Every follower runs the same ACC stack as the single-vehicle engine;
+defended followers carry the full Algorithm 2 pipeline, undefended ones
+the conventional coasting tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.exceptions import ConfigurationError
+from repro.radar.params import FMCWParameters
+from repro.radar.sensor import FMCWRadarSensor
+from repro.radar.tracker import AlphaBetaTracker
+from repro.simulation.engine import build_defense_pipeline
+from repro.simulation.scenario import DefenseConfig, Scenario, paper_challenge_times
+from repro.types import DetectionEvent, TimeSeries
+from repro.units import mph_to_mps
+from repro.vehicle.acc import ACCSystem
+from repro.vehicle.kinematics import advance_state
+from repro.vehicle.leader import LeaderProfile
+from repro.vehicle.params import ACCParameters
+from repro.vehicle.state import VehicleState
+
+__all__ = ["PlatoonScenario", "PlatoonResult", "PlatoonSimulation"]
+
+#: Radar-visible gap floor after a collision (matches the engine).
+_POST_COLLISION_GAP_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class PlatoonScenario:
+    """A leader plus ``n_followers`` ACC vehicles in single file.
+
+    Attributes
+    ----------
+    leader_profile:
+        Acceleration profile of the head vehicle.
+    n_followers:
+        Number of ACC-equipped followers behind the leader.
+    initial_gap:
+        Initial bumper-to-bumper spacing between every adjacent pair, m.
+    initial_speed:
+        Initial speed of every vehicle, m/s.
+    attack:
+        Optional attack on one follower's radar.
+    attacked_follower:
+        Index (0 = directly behind the leader) of the radar under attack.
+    defended_followers:
+        Indices carrying the CRA+RLS defense; others use a plain tracker.
+    """
+
+    leader_profile: LeaderProfile
+    n_followers: int = 4
+    horizon: float = 300.0
+    sample_period: float = 1.0
+    initial_gap: float = 50.0
+    initial_speed: float = mph_to_mps(65.0)
+    acc_params: ACCParameters = field(default_factory=ACCParameters)
+    radar_params: FMCWParameters = field(default_factory=FMCWParameters)
+    challenge_times: Tuple[float, ...] = field(default_factory=paper_challenge_times)
+    defense: DefenseConfig = field(default_factory=DefenseConfig)
+    attack: Optional[Attack] = None
+    attacked_follower: int = 0
+    defended_followers: Tuple[int, ...] = ()
+    fidelity: str = "equation"
+    sensor_seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.n_followers < 1:
+            raise ConfigurationError(
+                f"n_followers must be >= 1, got {self.n_followers}"
+            )
+        if not 0 <= self.attacked_follower < self.n_followers:
+            raise ConfigurationError(
+                f"attacked_follower {self.attacked_follower} out of range"
+            )
+        if any(not 0 <= i < self.n_followers for i in self.defended_followers):
+            raise ConfigurationError("defended_followers index out of range")
+        if self.initial_gap <= 0.0:
+            raise ConfigurationError(
+                f"initial_gap must be positive, got {self.initial_gap}"
+            )
+
+    def to_pair_scenario(self) -> Scenario:
+        """The equivalent two-vehicle scenario (for pipeline building)."""
+        return Scenario(
+            name="platoon-member",
+            leader_profile=self.leader_profile,
+            attack=self.attack,
+            horizon=self.horizon,
+            sample_period=self.sample_period,
+            initial_distance=self.initial_gap,
+            leader_initial_speed=self.initial_speed,
+            follower_initial_speed=self.initial_speed,
+            acc_params=self.acc_params,
+            radar_params=self.radar_params,
+            challenge_times=self.challenge_times,
+            defense=self.defense,
+            fidelity=self.fidelity,
+            sensor_seed=self.sensor_seed,
+        )
+
+
+@dataclass
+class PlatoonResult:
+    """Traces of one platoon run.
+
+    ``traces`` holds ``leader_velocity`` plus per-follower series
+    ``gap_<i>``, ``velocity_<i>`` and ``view_gap_<i>`` (what the
+    controller saw).
+    """
+
+    n_followers: int
+    traces: Dict[str, TimeSeries] = field(default_factory=dict)
+    collision_times: Dict[int, float] = field(default_factory=dict)
+    detection_events: List[DetectionEvent] = field(default_factory=list)
+
+    def gap(self, follower: int) -> np.ndarray:
+        """True gap of follower ``follower`` to its predecessor."""
+        return self.traces[f"gap_{follower}"].as_arrays()[1]
+
+    def velocity(self, follower: int) -> np.ndarray:
+        """Velocity trace of one follower."""
+        return self.traces[f"velocity_{follower}"].as_arrays()[1]
+
+    def min_gap(self, follower: int) -> float:
+        """Smallest true gap of one follower over the run."""
+        return float(np.min(self.gap(follower)))
+
+    def collided(self, follower: int) -> bool:
+        """True when ``follower`` reached its predecessor."""
+        return follower in self.collision_times
+
+    def any_collision(self) -> bool:
+        """True when any pair collided."""
+        return bool(self.collision_times)
+
+    def gap_deviation(self, follower: int, reference: "PlatoonResult") -> float:
+        """Peak |gap - reference gap| of one follower, m."""
+        return float(np.max(np.abs(self.gap(follower) - reference.gap(follower))))
+
+    def string_amplification(self, reference: "PlatoonResult") -> List[float]:
+        """Peak gap deviation (vs a clean reference run) per follower.
+
+        A string-stable chain attenuates the disturbance downstream:
+        the list decreases past the attacked vehicle.
+        """
+        return [
+            self.gap_deviation(i, reference) for i in range(self.n_followers)
+        ]
+
+
+class PlatoonSimulation:
+    """Closed-loop simulation of a platoon scenario."""
+
+    def __init__(self, scenario: PlatoonScenario, attack_enabled: bool = True):
+        self.scenario = scenario
+        self.attack = scenario.attack if attack_enabled else None
+
+    def run(self) -> PlatoonResult:
+        """Execute the run and return the platoon traces."""
+        scenario = self.scenario
+        schedule = scenario.to_pair_scenario().schedule()
+        n = scenario.n_followers
+
+        sensors = [
+            FMCWRadarSensor(
+                params=scenario.radar_params,
+                fidelity=scenario.fidelity,
+                seed=scenario.sensor_seed + i,
+            )
+            for i in range(n)
+        ]
+        controllers = [ACCSystem(scenario.acc_params) for _ in range(n)]
+        pipelines = [
+            build_defense_pipeline(scenario.to_pair_scenario())
+            if i in scenario.defended_followers
+            else None
+            for i in range(n)
+        ]
+        trackers = [
+            AlphaBetaTracker(sample_period=scenario.sample_period)
+            if pipelines[i] is None
+            else None
+            for i in range(n)
+        ]
+
+        leader = VehicleState(
+            position=0.0, velocity=scenario.initial_speed
+        )
+        followers = [
+            VehicleState(
+                position=-(i + 1) * scenario.initial_gap,
+                velocity=scenario.initial_speed,
+            )
+            for i in range(n)
+        ]
+
+        result = PlatoonResult(n_followers=n)
+        result.traces["leader_velocity"] = TimeSeries("leader_velocity")
+        for i in range(n):
+            for prefix in ("gap", "velocity", "view_gap"):
+                name = f"{prefix}_{i}"
+                result.traces[name] = TimeSeries(name)
+
+        steps = int(scenario.horizon / scenario.sample_period) + 1
+        for step_index in range(steps):
+            time = step_index * scenario.sample_period
+            transmit = not schedule.is_challenge(time)
+            result.traces["leader_velocity"].append(time, leader.velocity)
+
+            accelerations = []
+            for i in range(n):
+                predecessor = leader if i == 0 else followers[i - 1]
+                vehicle = followers[i]
+                true_gap = predecessor.position - vehicle.position
+                if true_gap <= 0.0 and i not in result.collision_times:
+                    result.collision_times[i] = time
+                radar_gap = max(true_gap, _POST_COLLISION_GAP_FLOOR)
+                relative_velocity = predecessor.velocity - vehicle.velocity
+
+                effect = None
+                if self.attack is not None and i == scenario.attacked_follower:
+                    effect = self.attack.effect_at(
+                        time, radar_gap, relative_velocity
+                    )
+                measurement = sensors[i].measure(
+                    time,
+                    radar_gap,
+                    relative_velocity,
+                    transmit=transmit,
+                    effect=effect,
+                )
+
+                if pipelines[i] is not None:
+                    safe = pipelines[i].process(
+                        measurement, follower_speed=vehicle.velocity
+                    )
+                    view = (safe.distance, safe.relative_velocity)
+                else:
+                    detection = (
+                        None
+                        if measurement.is_zero_output(1e-9)
+                        else (measurement.distance, measurement.relative_velocity)
+                    )
+                    view = trackers[i].update(detection)
+
+                control = controllers[i].step(vehicle.velocity, view)
+                accelerations.append(control.actual_acceleration)
+
+                result.traces[f"gap_{i}"].append(time, true_gap)
+                result.traces[f"velocity_{i}"].append(time, vehicle.velocity)
+                result.traces[f"view_gap_{i}"].append(
+                    time, view[0] if view is not None else 0.0
+                )
+
+            leader = advance_state(
+                leader,
+                scenario.leader_profile.acceleration(time),
+                scenario.sample_period,
+            )
+            followers = [
+                advance_state(followers[i], accelerations[i], scenario.sample_period)
+                for i in range(n)
+            ]
+
+        attacked_pipeline = pipelines[scenario.attacked_follower]
+        if attacked_pipeline is not None:
+            result.detection_events = attacked_pipeline.detection_events
+        return result

@@ -1,0 +1,63 @@
+"""Convenience drivers for the figure experiments.
+
+Each of the paper's figure panels overlays three series: the radar data
+without attack, the radar data with attack (undefended), and the
+estimated data produced by the defense.  :func:`run_figure_scenario`
+runs exactly that triple with a shared sensor seed so measurement noise
+aligns across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.engine import CarFollowingSimulation
+from repro.simulation.results import SimulationResult
+from repro.simulation.scenario import Scenario
+
+__all__ = ["FigureData", "run_figure_scenario", "run_single"]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """The three runs a figure panel overlays."""
+
+    scenario: Scenario
+    baseline: SimulationResult
+    attacked: SimulationResult
+    defended: SimulationResult
+
+    def detection_time(self) -> float:
+        """First detection instant of the defended run.
+
+        Raises if nothing was detected — a figure scenario always
+        contains an attack.
+        """
+        times = self.defended.detection_times
+        if not times:
+            raise RuntimeError(
+                f"defended run of {self.scenario.name!r} detected nothing"
+            )
+        return times[0]
+
+
+def run_single(
+    scenario: Scenario, attack_enabled: bool = True, defended: bool = True
+) -> SimulationResult:
+    """Run one configuration of a scenario."""
+    return CarFollowingSimulation(
+        scenario, attack_enabled=attack_enabled, defended=defended
+    ).run()
+
+
+def run_figure_scenario(scenario: Scenario) -> FigureData:
+    """Run the (baseline, attacked, defended) triple of a figure panel."""
+    baseline = run_single(scenario, attack_enabled=False, defended=False)
+    attacked = run_single(scenario, attack_enabled=True, defended=False)
+    defended = run_single(scenario, attack_enabled=True, defended=True)
+    return FigureData(
+        scenario=scenario,
+        baseline=baseline,
+        attacked=attacked,
+        defended=defended,
+    )

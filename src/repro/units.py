@@ -1,0 +1,116 @@
+"""Unit conversions used at the public API boundary.
+
+The library works in SI units internally (meters, seconds, watts, hertz).
+The paper quotes speeds in miles per hour, gains in dB/dBi, and radar
+parameters in MHz/GHz/mm, so these helpers keep call sites readable and
+make the unit of every constant explicit.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "MPH_TO_MPS",
+    "SPEED_OF_LIGHT",
+    "mph_to_mps",
+    "mps_to_mph",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "mhz",
+    "ghz",
+    "khz",
+    "millimeters",
+    "milliseconds",
+    "microseconds",
+    "nanoseconds_to_seconds",
+    "seconds_to_nanoseconds",
+]
+
+#: Exact conversion factor from miles per hour to meters per second.
+MPH_TO_MPS = 1609.344 / 3600.0
+
+#: Speed of light in vacuum, m/s (exact by SI definition).
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def mph_to_mps(speed_mph: float) -> float:
+    """Convert a speed from miles per hour to meters per second."""
+    return speed_mph * MPH_TO_MPS
+
+
+def mps_to_mph(speed_mps: float) -> float:
+    """Convert a speed from meters per second to miles per hour."""
+    return speed_mps / MPH_TO_MPS
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio from decibels to a linear ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises
+    ------
+    ValueError
+        If ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"dB conversion requires a positive ratio, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert a power level from dBm to watts."""
+    return 10.0 ** (power_dbm / 10.0) * 1e-3
+
+
+def watts_to_dbm(power_watts: float) -> float:
+    """Convert a power level from watts to dBm."""
+    if power_watts <= 0.0:
+        raise ValueError(f"dBm conversion requires positive power, got {power_watts!r}")
+    return 10.0 * math.log10(power_watts / 1e-3)
+
+
+def mhz(value: float) -> float:
+    """Express a frequency given in megahertz in hertz."""
+    return value * 1e6
+
+
+def ghz(value: float) -> float:
+    """Express a frequency given in gigahertz in hertz."""
+    return value * 1e9
+
+
+def khz(value: float) -> float:
+    """Express a frequency given in kilohertz in hertz."""
+    return value * 1e3
+
+
+def millimeters(value: float) -> float:
+    """Express a length given in millimeters in meters."""
+    return value * 1e-3
+
+
+def milliseconds(value: float) -> float:
+    """Express a duration given in milliseconds in seconds."""
+    return value * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Express a duration given in microseconds in seconds."""
+    return value * 1e-6
+
+
+def nanoseconds_to_seconds(value_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value_ns * 1e-9
+
+
+def seconds_to_nanoseconds(value_s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return value_s * 1e9

@@ -1,0 +1,48 @@
+"""Discrete vehicle kinematics (paper Eqns 15-17).
+
+    v[k+1] = v[k] + a[k+1] · T                       (Eqn 15)
+    x[k+1] = x[k] + v[k] · T + a[k+1] · T² / 2        (Eqn 17)
+
+with the physical constraint that vehicles do not reverse: when braking
+would take the velocity negative within the step, the update stops at
+standstill (velocity clamps to zero and the position advance uses the
+time-to-stop).
+"""
+
+from __future__ import annotations
+
+from repro.vehicle.state import VehicleState
+
+__all__ = ["advance_state"]
+
+
+def advance_state(state: VehicleState, acceleration: float, dt: float) -> VehicleState:
+    """Advance a vehicle one sample period under ``acceleration``.
+
+    Parameters
+    ----------
+    state:
+        Current state.
+    acceleration:
+        Acceleration held over the step, m/s².
+    dt:
+        Sample period, seconds.
+
+    Returns
+    -------
+    VehicleState
+        The state at the next sample, with standstill handling.
+    """
+    if dt <= 0.0:
+        raise ValueError(f"sample period must be positive, got {dt}")
+    v0 = state.velocity
+    v1 = v0 + acceleration * dt
+    if v1 >= 0.0:
+        position = state.position + v0 * dt + 0.5 * acceleration * dt * dt
+        return VehicleState(position=position, velocity=v1, acceleration=acceleration)
+    # The vehicle reaches standstill mid-step: stop there and stay.
+    if acceleration >= 0.0:  # pragma: no cover - defensive; v1<0 needs a<0
+        raise AssertionError("negative velocity with non-negative acceleration")
+    time_to_stop = v0 / (-acceleration)
+    position = state.position + v0 * time_to_stop + 0.5 * acceleration * time_to_stop**2
+    return VehicleState(position=position, velocity=0.0, acceleration=acceleration)

@@ -1,0 +1,331 @@
+"""Nonlinear lateral dynamics — the paper's stated future work.
+
+The conclusion announces: "We will also extend our case study on
+autonomous ground vehicle to include a non-linear system model with
+lateral dynamics."  This module provides that extension:
+
+* :class:`BicycleKinematics` — the standard kinematic bicycle model,
+  the canonical nonlinear lateral vehicle model:
+
+      ẋ = v cos ψ,   ẏ = v sin ψ,   ψ̇ = (v / L) tan δ
+
+  with wheelbase ``L``, heading ``ψ`` and front steering angle ``δ``;
+* :class:`LanePath` implementations — straight, constant-curvature arc,
+  and sinusoidal (slalom) centerlines;
+* :class:`LaneKeepingController` — the LKC the paper's introduction
+  names alongside ACC: PD feedback on lateral offset and heading error
+  with steering saturation;
+* :class:`LateralSimulation` — a closed-loop lane-keeping run with an
+  optional lateral disturbance (crosswind-style heading bias).
+
+The longitudinal study (ACC + CRA + RLS) is deliberately unchanged: the
+lateral loop composes with it through the shared speed profile.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import TimeSeries
+
+__all__ = [
+    "LateralState",
+    "BicycleKinematics",
+    "LanePath",
+    "StraightLane",
+    "ArcLane",
+    "SinusoidalLane",
+    "LaneKeepingController",
+    "LateralSimulation",
+    "LateralResult",
+]
+
+
+@dataclass(frozen=True)
+class LateralState:
+    """Planar pose of one vehicle.
+
+    Attributes
+    ----------
+    x, y:
+        Position in the road frame, meters (``x`` along the nominal
+        driving direction).
+    heading:
+        Yaw angle ``ψ`` relative to the +x axis, radians.
+    speed:
+        Longitudinal speed ``v``, m/s (>= 0).
+    """
+
+    x: float
+    y: float
+    heading: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.speed < 0.0:
+            raise ValueError(f"speed must be >= 0, got {self.speed}")
+
+    def with_values(self, **kwargs) -> "LateralState":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+
+class BicycleKinematics:
+    """Kinematic bicycle model with steering saturation.
+
+    Parameters
+    ----------
+    wheelbase:
+        Distance ``L`` between axles, meters.
+    max_steering:
+        Steering-angle limit ``|δ|``, radians (≈0.5 rad for a car).
+    """
+
+    def __init__(self, wheelbase: float = 2.8, max_steering: float = 0.5):
+        if wheelbase <= 0.0:
+            raise ConfigurationError(f"wheelbase must be positive, got {wheelbase}")
+        if not 0.0 < max_steering < math.pi / 2:
+            raise ConfigurationError(
+                f"max_steering must be in (0, pi/2), got {max_steering}"
+            )
+        self.wheelbase = float(wheelbase)
+        self.max_steering = float(max_steering)
+
+    def clamp_steering(self, steering: float) -> float:
+        """Saturate a steering command to the physical limit."""
+        return min(self.max_steering, max(-self.max_steering, steering))
+
+    def step(
+        self,
+        state: LateralState,
+        steering: float,
+        acceleration: float,
+        dt: float,
+    ) -> LateralState:
+        """Advance the pose one step (forward Euler on the nonlinear model).
+
+        The heading uses the midpoint yaw rate for better accuracy at
+        the 1 s control period the longitudinal study runs at.
+        """
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        delta = self.clamp_steering(steering)
+        speed = max(0.0, state.speed + acceleration * dt)
+        mean_speed = 0.5 * (state.speed + speed)
+        yaw_rate = mean_speed * math.tan(delta) / self.wheelbase
+        heading_mid = state.heading + 0.5 * yaw_rate * dt
+        return LateralState(
+            x=state.x + mean_speed * math.cos(heading_mid) * dt,
+            y=state.y + mean_speed * math.sin(heading_mid) * dt,
+            heading=state.heading + yaw_rate * dt,
+            speed=speed,
+        )
+
+
+class LanePath(ABC):
+    """A lane centerline ``y_ref(x)`` with its local heading."""
+
+    @abstractmethod
+    def lateral_reference(self, x: float) -> float:
+        """Centerline lateral position at ``x``, meters."""
+
+    @abstractmethod
+    def heading_reference(self, x: float) -> float:
+        """Centerline heading at ``x``, radians."""
+
+    def offset_of(self, state: LateralState) -> float:
+        """Signed lateral offset of a pose from the centerline."""
+        return state.y - self.lateral_reference(state.x)
+
+
+class StraightLane(LanePath):
+    """A straight lane along the +x axis at lateral position ``y0``."""
+
+    def __init__(self, y0: float = 0.0):
+        self.y0 = float(y0)
+
+    def lateral_reference(self, x: float) -> float:
+        return self.y0
+
+    def heading_reference(self, x: float) -> float:
+        return 0.0
+
+
+class ArcLane(LanePath):
+    """Constant-curvature lane (small-heading parameterization).
+
+    ``y_ref(x) = κ x² / 2`` — the standard small-angle approximation of
+    an arc of curvature ``κ``; valid for the gentle highway curvatures
+    (|κ| ≤ ~3e-3 1/m) lane-keeping studies use.
+    """
+
+    def __init__(self, curvature: float = 1e-3):
+        if abs(curvature) > 0.01:
+            raise ConfigurationError(
+                f"|curvature| must be <= 0.01 1/m for the small-angle "
+                f"parameterization, got {curvature}"
+            )
+        self.curvature = float(curvature)
+
+    def lateral_reference(self, x: float) -> float:
+        return 0.5 * self.curvature * x * x
+
+    def heading_reference(self, x: float) -> float:
+        return math.atan(self.curvature * x)
+
+
+class SinusoidalLane(LanePath):
+    """Slalom lane ``y_ref = A sin(2π x / λ)`` (lane-change stress test)."""
+
+    def __init__(self, amplitude: float = 1.5, wavelength: float = 400.0):
+        if wavelength <= 0.0:
+            raise ConfigurationError(
+                f"wavelength must be positive, got {wavelength}"
+            )
+        self.amplitude = float(amplitude)
+        self.wavelength = float(wavelength)
+
+    def lateral_reference(self, x: float) -> float:
+        return self.amplitude * math.sin(2.0 * math.pi * x / self.wavelength)
+
+    def heading_reference(self, x: float) -> float:
+        slope = (
+            self.amplitude
+            * 2.0
+            * math.pi
+            / self.wavelength
+            * math.cos(2.0 * math.pi * x / self.wavelength)
+        )
+        return math.atan(slope)
+
+
+class LaneKeepingController:
+    """PD lane keeping: steer on lateral offset and heading error.
+
+        δ = -(k_y · e_y + k_ψ · e_ψ) + δ_ff
+
+    with a curvature feed-forward ``δ_ff = atan(L · κ_local)`` derived
+    from the path heading change.  Gains default to a well-damped
+    response at highway speeds for the 0.1 s lateral control period.
+    """
+
+    def __init__(
+        self,
+        lateral_gain: float = 0.05,
+        heading_gain: float = 0.8,
+        model: Optional[BicycleKinematics] = None,
+    ):
+        if lateral_gain <= 0.0 or heading_gain <= 0.0:
+            raise ConfigurationError("controller gains must be positive")
+        self.lateral_gain = float(lateral_gain)
+        self.heading_gain = float(heading_gain)
+        self.model = model if model is not None else BicycleKinematics()
+
+    def steering(self, state: LateralState, path: LanePath) -> float:
+        """Steering command for the current pose (saturated)."""
+        offset = path.offset_of(state)
+        heading_error = state.heading - path.heading_reference(state.x)
+        command = -(self.lateral_gain * offset + self.heading_gain * heading_error)
+        # Feed-forward: hold the path's local heading rate.
+        lookahead = max(1.0, state.speed * 0.1)
+        path_yaw_rate = (
+            path.heading_reference(state.x + lookahead)
+            - path.heading_reference(state.x)
+        ) / lookahead
+        feedforward = math.atan(self.model.wheelbase * path_yaw_rate)
+        return self.model.clamp_steering(command + feedforward)
+
+
+@dataclass
+class LateralResult:
+    """Traces of one lane-keeping run."""
+
+    times: List[float]
+    offsets: List[float]
+    headings: List[float]
+    steering: List[float]
+    states: List[LateralState]
+
+    def max_offset(self, after: float = 0.0) -> float:
+        """Largest |lateral offset| for t >= ``after``."""
+        values = [
+            abs(o) for t, o in zip(self.times, self.offsets) if t >= after
+        ]
+        return max(values) if values else float("nan")
+
+    def offset_series(self) -> TimeSeries:
+        """Lateral offset as a :class:`~repro.types.TimeSeries`."""
+        series = TimeSeries("lateral_offset")
+        for t, o in zip(self.times, self.offsets):
+            series.append(t, o)
+        return series
+
+
+class LateralSimulation:
+    """Closed-loop lane keeping along a path.
+
+    Parameters
+    ----------
+    path:
+        Lane centerline to follow.
+    controller:
+        Lane-keeping controller; a default PD is built when omitted.
+    dt:
+        Lateral control period, seconds (faster than the 1 s
+        longitudinal loop, as in real vehicles).
+    speed_profile:
+        Optional ``time -> acceleration`` callable for the longitudinal
+        speed (defaults to constant speed).
+    heading_disturbance:
+        Optional ``time -> heading-rate bias`` (rad/s) modelling
+        crosswind or road crown.
+    """
+
+    def __init__(
+        self,
+        path: LanePath,
+        controller: Optional[LaneKeepingController] = None,
+        dt: float = 0.1,
+        speed_profile: Optional[Callable[[float], float]] = None,
+        heading_disturbance: Optional[Callable[[float], float]] = None,
+    ):
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self.path = path
+        self.controller = controller if controller is not None else LaneKeepingController()
+        self.dt = float(dt)
+        self.speed_profile = speed_profile
+        self.heading_disturbance = heading_disturbance
+
+    def run(self, initial: LateralState, duration: float) -> LateralResult:
+        """Simulate for ``duration`` seconds from ``initial``."""
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        model = self.controller.model
+        state = initial
+        result = LateralResult(times=[], offsets=[], headings=[], steering=[], states=[])
+        steps = int(round(duration / self.dt))
+        for k in range(steps + 1):
+            time = k * self.dt
+            steering = self.controller.steering(state, self.path)
+            result.times.append(time)
+            result.offsets.append(self.path.offset_of(state))
+            result.headings.append(state.heading)
+            result.steering.append(steering)
+            result.states.append(state)
+            acceleration = (
+                self.speed_profile(time) if self.speed_profile is not None else 0.0
+            )
+            state = model.step(state, steering, acceleration, self.dt)
+            if self.heading_disturbance is not None:
+                state = state.with_values(
+                    heading=state.heading
+                    + self.heading_disturbance(time) * self.dt
+                )
+        return result

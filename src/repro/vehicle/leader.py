@@ -1,0 +1,114 @@
+"""Leader-vehicle acceleration profiles (paper §6.2 scenarios).
+
+The paper's two scenarios are (i) constant deceleration at
+``-0.1082 m/s²`` and (ii) deceleration at ``-0.1082 m/s²`` followed by
+acceleration at ``+0.012 m/s²``.  The profiles here generate the leader
+acceleration as a function of time; the kinematics layer clamps the
+leader at standstill (no reversing).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "LeaderProfile",
+    "ConstantAccelerationProfile",
+    "PiecewiseAccelerationProfile",
+    "StopAndGoProfile",
+]
+
+
+class LeaderProfile(ABC):
+    """Maps time to the leader's commanded acceleration."""
+
+    @abstractmethod
+    def acceleration(self, time: float) -> float:
+        """Leader acceleration at ``time``, m/s²."""
+
+
+class ConstantAccelerationProfile(LeaderProfile):
+    """Constant acceleration from ``start_time`` on (zero before).
+
+    The paper's scenario (i): ``ConstantAccelerationProfile(-0.1082)``.
+    """
+
+    def __init__(self, acceleration: float, start_time: float = 0.0):
+        if start_time < 0.0:
+            raise ValueError(f"start_time must be >= 0, got {start_time}")
+        self._acceleration = float(acceleration)
+        self.start_time = float(start_time)
+
+    def acceleration(self, time: float) -> float:
+        return self._acceleration if time >= self.start_time else 0.0
+
+
+class PiecewiseAccelerationProfile(LeaderProfile):
+    """Piecewise-constant acceleration defined by breakpoints.
+
+    ``segments`` is a sequence of ``(start_time, acceleration)`` pairs
+    sorted by start time; the acceleration is zero before the first
+    breakpoint.  The paper's scenario (ii) is::
+
+        PiecewiseAccelerationProfile([(0.0, -0.1082), (150.0, 0.012)])
+    """
+
+    def __init__(self, segments: Sequence[Tuple[float, float]]):
+        if not segments:
+            raise ValueError("at least one segment is required")
+        ordered: List[Tuple[float, float]] = [
+            (float(t), float(a)) for t, a in segments
+        ]
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later[0] <= earlier[0]:
+                raise ValueError(
+                    f"segment start times must increase: {later[0]} after {earlier[0]}"
+                )
+        if ordered[0][0] < 0.0:
+            raise ValueError("segment start times must be >= 0")
+        self.segments = ordered
+
+    def acceleration(self, time: float) -> float:
+        current = 0.0
+        for start, accel in self.segments:
+            if time >= start:
+                current = accel
+            else:
+                break
+        return current
+
+
+class StopAndGoProfile(LeaderProfile):
+    """Periodic braking/accelerating leader (urban stop-and-go traffic).
+
+    Alternates ``brake_time`` seconds at ``-deceleration`` with
+    ``go_time`` seconds at ``+acceleration`` — a harsher workload than
+    the paper's, used by the extension examples and stress tests.
+    """
+
+    def __init__(
+        self,
+        deceleration: float = 1.0,
+        acceleration: float = 0.8,
+        brake_time: float = 20.0,
+        go_time: float = 25.0,
+        start_time: float = 0.0,
+    ):
+        if deceleration <= 0.0 or acceleration <= 0.0:
+            raise ValueError("deceleration and acceleration must be positive")
+        if brake_time <= 0.0 or go_time <= 0.0:
+            raise ValueError("brake_time and go_time must be positive")
+        self.deceleration = float(deceleration)
+        self.acceleration_value = float(acceleration)
+        self.brake_time = float(brake_time)
+        self.go_time = float(go_time)
+        self.start_time = float(start_time)
+
+    def acceleration(self, time: float) -> float:
+        if time < self.start_time:
+            return 0.0
+        phase = (time - self.start_time) % (self.brake_time + self.go_time)
+        if phase < self.brake_time:
+            return -self.deceleration
+        return self.acceleration_value

@@ -1,0 +1,71 @@
+"""Lower-loop longitudinal dynamics — the first-order lag of Eqn 14.
+
+The closed loop of the lower-level controller with the vehicle plant is
+
+    a_F(s) / a_des(s) = K_L / (T_L s + 1)
+
+discretized exactly under zero-order hold (see
+:func:`repro.lti.discretize.first_order_lag_discrete`).  Actuator limits
+are applied to the commanded acceleration before the lag, matching the
+paper's assumption that nonlinearities are compensated by inverse
+longitudinal dynamics and only the lag remains.
+"""
+
+from __future__ import annotations
+
+from repro.lti.discretize import first_order_lag_discrete
+from repro.vehicle.params import ACCParameters
+
+__all__ = ["FirstOrderLongitudinalDynamics"]
+
+
+class FirstOrderLongitudinalDynamics:
+    """Tracks a desired acceleration through the Eqn 14 first-order lag.
+
+    Parameters
+    ----------
+    params:
+        Supplies ``K_L``, ``T_L``, the sample period and the actuation
+        limits.
+    initial_acceleration:
+        Acceleration state at k = 0, m/s².
+    """
+
+    def __init__(self, params: ACCParameters, initial_acceleration: float = 0.0):
+        self.params = params
+        self._alpha, self._beta = first_order_lag_discrete(
+            gain=params.system_gain,
+            time_constant=params.time_constant,
+            dt=params.sample_period,
+        )
+        self._acceleration = float(initial_acceleration)
+
+    @property
+    def acceleration(self) -> float:
+        """Current actual acceleration ``a_F``, m/s²."""
+        return self._acceleration
+
+    @property
+    def lag_coefficients(self) -> "tuple[float, float]":
+        """The discrete ``(alpha, beta)`` of the ZOH-discretized lag."""
+        return self._alpha, self._beta
+
+    def clamp_command(self, desired_acceleration: float) -> float:
+        """Apply the actuator limits to a commanded acceleration."""
+        return min(
+            self.params.max_acceleration,
+            max(self.params.min_acceleration, desired_acceleration),
+        )
+
+    def step(self, desired_acceleration: float) -> float:
+        """Advance one sample period; returns the new actual acceleration.
+
+        ``a_F[k+1] = α a_F[k] + β sat(a_des[k])``.
+        """
+        command = self.clamp_command(desired_acceleration)
+        self._acceleration = self._alpha * self._acceleration + self._beta * command
+        return self._acceleration
+
+    def reset(self, acceleration: float = 0.0) -> None:
+        """Reset the acceleration state."""
+        self._acceleration = float(acceleration)

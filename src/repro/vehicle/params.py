@@ -1,0 +1,101 @@
+"""ACC controller and plant parameters (paper §6.1).
+
+Paper values: headway time ``τ_h = 3 s``, minimum stopping distance
+``d_0 = 5 m``, system gain ``K_L = 1.0``, lower-loop time constant
+``T_L = 1.008 s`` (Li et al. [6]), set speed 67 mph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+from repro.units import mph_to_mps
+
+__all__ = ["ACCParameters"]
+
+
+@dataclass(frozen=True)
+class ACCParameters:
+    """Parameters of the hierarchical ACC controller and its plant.
+
+    Attributes
+    ----------
+    headway_time:
+        CTH headway time ``τ_h``, seconds.
+    standstill_distance:
+        Minimum stopping distance ``d_0``, meters (Eqn 12 offset).
+    system_gain:
+        Lower-loop DC gain ``K_L`` (Eqn 14).
+    time_constant:
+        Lower-loop time constant ``T_L``, seconds (Eqn 14).
+    set_speed:
+        Driver-selected cruise speed ``v_set``, m/s.
+    sample_period:
+        Discrete controller period ``T``, seconds (paper: 1 s steps).
+    speed_gain:
+        Proportional gain of the speed-control mode, 1/s.
+    relative_velocity_weight:
+        Weight ``λ_v`` of the relative-speed error in the CTH law
+        (Eqn 13 reconstruction; see DESIGN.md §2).
+    spacing_activation_margin:
+        The controller enters spacing mode when the measured gap falls
+        below ``d_des * (1 + margin)``; hysteresis against mode chatter.
+    max_acceleration, min_acceleration:
+        Actuation limits on the desired acceleration, m/s².
+    brake_gain:
+        Maps deceleration demand to brake pressure (bar per m/s²) in the
+        lower-level actuator split.
+    coast_deceleration:
+        Deceleration obtained with neither pedal nor brake (rolling and
+        aero drag), m/s²; negative number.
+    """
+
+    headway_time: float = 3.0
+    standstill_distance: float = 5.0
+    system_gain: float = 1.0
+    time_constant: float = 1.008
+    set_speed: float = mph_to_mps(67.0)
+    sample_period: float = 1.0
+    speed_gain: float = 0.30
+    relative_velocity_weight: float = 2.0
+    spacing_activation_margin: float = 0.10
+    max_acceleration: float = 2.5
+    min_acceleration: float = -5.0
+    brake_gain: float = 25.0
+    coast_deceleration: float = -0.3
+
+    def __post_init__(self) -> None:
+        if self.headway_time <= 0.0:
+            raise ConfigurationError(f"headway_time must be positive, got {self.headway_time}")
+        if self.standstill_distance < 0.0:
+            raise ConfigurationError(
+                f"standstill_distance must be >= 0, got {self.standstill_distance}"
+            )
+        if self.system_gain <= 0.0:
+            raise ConfigurationError(f"system_gain must be positive, got {self.system_gain}")
+        if self.time_constant <= 0.0:
+            raise ConfigurationError(f"time_constant must be positive, got {self.time_constant}")
+        if self.set_speed < 0.0:
+            raise ConfigurationError(f"set_speed must be >= 0, got {self.set_speed}")
+        if self.sample_period <= 0.0:
+            raise ConfigurationError(f"sample_period must be positive, got {self.sample_period}")
+        if self.max_acceleration <= 0.0 or self.min_acceleration >= 0.0:
+            raise ConfigurationError(
+                "acceleration limits must bracket zero: "
+                f"[{self.min_acceleration}, {self.max_acceleration}]"
+            )
+        if self.coast_deceleration > 0.0:
+            raise ConfigurationError(
+                f"coast_deceleration must be <= 0, got {self.coast_deceleration}"
+            )
+        if self.speed_gain <= 0.0 or self.relative_velocity_weight < 0.0:
+            raise ConfigurationError("controller gains must be positive")
+
+    def desired_distance(self, follower_speed: float) -> float:
+        """Eqn 12: ``d_des = d_0 + τ_h · v_F``."""
+        return self.standstill_distance + self.headway_time * max(0.0, follower_speed)
+
+    def with_overrides(self, **kwargs) -> "ACCParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

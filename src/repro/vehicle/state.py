@@ -1,0 +1,35 @@
+"""Longitudinal vehicle state container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["VehicleState"]
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Longitudinal state of one vehicle.
+
+    Attributes
+    ----------
+    position:
+        Distance along the lane, meters (grows in the driving direction).
+    velocity:
+        Longitudinal speed, m/s; never negative (vehicles do not reverse
+        in the car-following scenario).
+    acceleration:
+        Current longitudinal acceleration, m/s².
+    """
+
+    position: float
+    velocity: float
+    acceleration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.velocity < 0.0:
+            raise ValueError(f"velocity must be >= 0, got {self.velocity}")
+
+    def with_values(self, **kwargs) -> "VehicleState":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

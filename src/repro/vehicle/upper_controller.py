@@ -1,0 +1,140 @@
+"""Upper-level ACC controller — CTH policy (paper Eqns 12-13).
+
+The upper level turns the radar measurement ``(d, Δv)`` and the
+follower's own speed ``v_F`` into a desired acceleration ``a_des``.
+
+*Speed-control mode* (no relevant target): proportional tracking of the
+set speed, ``a_des = k_v (v_set - v_F)``.
+
+*Spacing-control mode*: the constant-time-headway law.  The paper's
+Eqn 13 is OCR-garbled (see DESIGN.md §2); we implement the standard CTH
+output-feedback form it describes — desired velocity proportional to the
+clearance and inversely proportional to the headway time:
+
+    v_des(k+1) = v_F(k) + (T / (τ_h K_L)) (Δd(k) + λ_v Δv(k))
+    a_des(k)   = (v_des(k+1) - v_F(k)) / T
+               = (Δd(k) + λ_v Δv(k)) / (τ_h K_L)
+
+with clearance error ``Δd = d - d_des`` (Eqn 12: ``d_des = d_0 + τ_h
+v_F``) and relative speed ``Δv = v_L - v_F``.  The controller arbitrates
+the two modes by taking the smaller acceleration (a target demanding
+less acceleration than cruise always wins), which yields the mode switch
+the paper describes with hysteresis-free chatter immunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.vehicle.params import ACCParameters
+
+__all__ = ["ControlMode", "UpperLevelOutput", "UpperLevelController"]
+
+
+class ControlMode(Enum):
+    """Which ACC objective is currently binding."""
+
+    SPEED = "speed"
+    SPACING = "spacing"
+
+
+@dataclass(frozen=True)
+class UpperLevelOutput:
+    """Everything the upper level computed for one sample.
+
+    ``desired_acceleration`` is the arbitration result; the per-mode
+    commands and the CTH intermediate quantities are exposed for
+    plotting and tests.
+    """
+
+    desired_acceleration: float
+    mode: ControlMode
+    desired_distance: float
+    clearance_error: float
+    speed_command: float
+    spacing_command: Optional[float]
+    desired_velocity: float
+
+
+class UpperLevelController:
+    """Stateless CTH upper-level controller (all state lives in the plant)."""
+
+    def __init__(self, params: ACCParameters):
+        self.params = params
+
+    def speed_mode_command(self, follower_speed: float) -> float:
+        """Speed-control acceleration: track ``v_set`` proportionally."""
+        return self.params.speed_gain * (self.params.set_speed - follower_speed)
+
+    def spacing_mode_command(
+        self, follower_speed: float, distance: float, relative_velocity: float
+    ) -> Tuple[float, float, float]:
+        """CTH spacing acceleration.
+
+        Returns ``(a_des, d_des, Δd)`` for the given measurement.
+        """
+        params = self.params
+        desired_distance = params.desired_distance(follower_speed)
+        clearance_error = distance - desired_distance
+        command = (
+            clearance_error + params.relative_velocity_weight * relative_velocity
+        ) / (params.headway_time * params.system_gain)
+        return command, desired_distance, clearance_error
+
+    def compute(
+        self,
+        follower_speed: float,
+        measurement: Optional[Tuple[float, float]],
+    ) -> UpperLevelOutput:
+        """Compute the desired acceleration for one sample.
+
+        Parameters
+        ----------
+        follower_speed:
+            The trusted own-speed measurement ``v_F`` (the paper assumes
+            the follower's speed sensor is not under attack).
+        measurement:
+            The (possibly estimated) radar measurement ``(d, Δv)``, or
+            None when no target is visible.
+        """
+        params = self.params
+        speed_command = self.speed_mode_command(follower_speed)
+
+        if measurement is None:
+            a_des = min(
+                params.max_acceleration, max(params.min_acceleration, speed_command)
+            )
+            return UpperLevelOutput(
+                desired_acceleration=a_des,
+                mode=ControlMode.SPEED,
+                desired_distance=params.desired_distance(follower_speed),
+                clearance_error=float("inf"),
+                speed_command=speed_command,
+                spacing_command=None,
+                desired_velocity=follower_speed + a_des * params.sample_period,
+            )
+
+        distance, relative_velocity = measurement
+        spacing_command, desired_distance, clearance_error = self.spacing_mode_command(
+            follower_speed, distance, relative_velocity
+        )
+        # A distant, fast target relaxes the spacing demand above the
+        # cruise demand; the stricter (smaller) of the two governs.
+        if spacing_command < speed_command:
+            mode = ControlMode.SPACING
+            command = spacing_command
+        else:
+            mode = ControlMode.SPEED
+            command = speed_command
+        a_des = min(params.max_acceleration, max(params.min_acceleration, command))
+        return UpperLevelOutput(
+            desired_acceleration=a_des,
+            mode=mode,
+            desired_distance=desired_distance,
+            clearance_error=clearance_error,
+            speed_command=speed_command,
+            spacing_command=spacing_command,
+            desired_velocity=follower_speed + a_des * params.sample_period,
+        )

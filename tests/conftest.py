@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radar.params import FMCWParameters
+from repro.radar.link_budget import JammerParameters
+from repro.vehicle.params import ACCParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def radar_params() -> FMCWParameters:
+    """The paper's Bosch LRR2 radar parameters."""
+    return FMCWParameters()
+
+
+@pytest.fixture
+def jammer() -> JammerParameters:
+    """The paper's §6.2 self-screening jammer."""
+    return JammerParameters()
+
+
+@pytest.fixture
+def acc_params() -> ACCParameters:
+    """The paper's ACC controller parameters."""
+    return ACCParameters()

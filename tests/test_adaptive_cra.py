@@ -1,0 +1,98 @@
+"""Adaptive challenge scheduling (repro.core.adaptive_cra)."""
+
+import pytest
+
+from repro import (
+    AttackWindow,
+    ChallengeSchedule,
+    DoSJammingAttack,
+    fig2_scenario,
+    run_single,
+)
+from repro.core import AdaptiveChallengePolicy
+
+
+BASE = ChallengeSchedule.from_times([15.0, 50.0, 100.0])
+
+
+class TestPolicyDecisions:
+    def test_quiet_mode_follows_base_schedule(self):
+        policy = AdaptiveChallengePolicy(BASE, alert_period=2.0)
+        for k in range(60):
+            expected = BASE.is_challenge(float(k))
+            assert policy.decide(float(k), alarm_active=False) == expected
+
+    def test_alert_mode_challenges_every_period(self):
+        policy = AdaptiveChallengePolicy(BASE, alert_period=3.0)
+        decisions = [policy.decide(float(k), alarm_active=True) for k in range(20, 35)]
+        # First alert instant challenges immediately, then every 3 s.
+        assert decisions[0] is True
+        challenge_times = [20 + i for i, d in enumerate(decisions) if d]
+        gaps = [b - a for a, b in zip(challenge_times, challenge_times[1:])]
+        assert all(g == 3 for g in gaps)
+
+    def test_alert_state_resets_when_alarm_clears(self):
+        policy = AdaptiveChallengePolicy(BASE, alert_period=5.0)
+        assert policy.decide(20.0, alarm_active=True)
+        assert not policy.decide(21.0, alarm_active=False)
+        # Re-raised alarm challenges immediately again.
+        assert policy.decide(22.0, alarm_active=True)
+
+    def test_is_challenge_serves_recorded_decisions(self):
+        policy = AdaptiveChallengePolicy(BASE, alert_period=2.0)
+        policy.decide(20.0, alarm_active=True)
+        assert policy.is_challenge(20.0)
+        # Undecided instants fall back to the base schedule.
+        assert policy.is_challenge(50.0)
+        assert not policy.is_challenge(51.0)
+
+    def test_times_merges_decisions_and_base(self):
+        policy = AdaptiveChallengePolicy(BASE, alert_period=2.0)
+        policy.decide(20.0, alarm_active=True)
+        assert 20.0 in policy.times
+        assert 15.0 in policy.times
+
+    def test_next_challenge_forwards_to_base(self):
+        policy = AdaptiveChallengePolicy(BASE)
+        assert policy.next_challenge_at_or_after(60.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveChallengePolicy(BASE, alert_period=0.0)
+
+
+class TestAdaptiveRecovery:
+    def finite_attack(self, adaptive_period=None):
+        scenario = fig2_scenario("dos").with_overrides(
+            name="finite",
+            attack=DoSJammingAttack(AttackWindow(182.0, 230.0)),
+            adaptive_challenge_period=adaptive_period,
+        )
+        return run_single(scenario, defended=True)
+
+    def test_adaptive_recovers_sooner(self):
+        def clear_time(result):
+            return min(
+                e.time
+                for e in result.detection_events
+                if not e.attack_detected and e.time > 230.0
+            )
+
+        static_clear = clear_time(self.finite_attack(None))
+        adaptive_clear = clear_time(self.finite_attack(2.0))
+        assert adaptive_clear < static_clear
+        assert adaptive_clear <= 233.0
+
+    def test_detection_time_unchanged(self):
+        result = self.finite_attack(2.0)
+        assert result.detection_times[0] == 182.0
+
+    def test_no_false_positives_in_quiet_mode(self):
+        scenario = fig2_scenario("dos").with_overrides(
+            adaptive_challenge_period=2.0
+        )
+        result = run_single(scenario, attack_enabled=False, defended=True)
+        assert all(not e.attack_detected for e in result.detection_events)
+
+    def test_still_safe(self):
+        assert not self.finite_attack(2.0).collided

@@ -1,0 +1,129 @@
+"""Variable-forgetting-factor RLS and validated quarantine replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelPredictor, DeadReckoningEstimator
+from repro.types import RadarMeasurement
+
+
+def measurement(k, d, dv):
+    return RadarMeasurement(time=float(k), distance=d, relative_velocity=dv)
+
+
+def regime_change_series(n_before=120, n_after=15, level=29.0, slope_after=-1.0, noise=0.12, seed=0):
+    """Constant channel, then a sharp ramp (emergency braking)."""
+    rng = np.random.default_rng(seed)
+    values = []
+    for k in range(n_before + n_after):
+        value = level if k < n_before else level + slope_after * (k - n_before)
+        values.append((float(k), value + rng.normal(0, noise)))
+    return values
+
+
+class TestVariableForgetting:
+    def test_adaptive_tracks_regime_change_faster(self):
+        fixed = ChannelPredictor(forgetting=0.95, adaptive_forgetting=False)
+        adaptive = ChannelPredictor(forgetting=0.95, adaptive_forgetting=True)
+        for t, v in regime_change_series():
+            fixed.observe(t, v)
+            adaptive.observe(t, v)
+        horizon = 140.0  # 5 steps past the last sample
+        truth = 29.0 - 1.0 * (140 - 120)
+        assert abs(adaptive.forecast(horizon) - truth) < abs(
+            fixed.forecast(horizon) - truth
+        )
+        assert abs(adaptive.forecast(horizon) - truth) < 3.0
+
+    def test_adaptive_matches_fixed_on_stationary_data(self):
+        rng = np.random.default_rng(1)
+        fixed = ChannelPredictor(forgetting=0.95, adaptive_forgetting=False)
+        adaptive = ChannelPredictor(forgetting=0.95, adaptive_forgetting=True)
+        for k in range(150):
+            value = 29.06 - 0.1082 * k + rng.normal(0, 0.12)
+            fixed.observe(float(k), value)
+            adaptive.observe(float(k), value)
+        assert adaptive.forecast(200.0) == pytest.approx(
+            fixed.forecast(200.0), abs=0.5
+        )
+
+    def test_step_forgetting_bounds(self):
+        predictor = ChannelPredictor(
+            forgetting=0.95, adaptive_forgetting=True, min_forgetting=0.5
+        )
+        for t, v in regime_change_series():
+            predictor.observe(t, v)
+            regressor = predictor.basis.regressor(predictor._normalize(t), [])
+            lam = predictor._step_forgetting(regressor, v)
+            if lam is not None:
+                assert 0.5 <= lam <= 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelPredictor(forgetting=0.9, min_forgetting=0.95)
+        with pytest.raises(ValueError):
+            ChannelPredictor(min_forgetting=0.0)
+
+    def test_per_step_override_in_rls(self):
+        from repro.core import RLSEstimator
+
+        rls = RLSEstimator(n_params=1, forgetting=1.0)
+        rls.update([1.0], 1.0, forgetting=0.5)
+        with pytest.raises(ValueError):
+            rls.update([1.0], 1.0, forgetting=0.0)
+
+
+class TestValidatedQuarantineReplay:
+    def make_estimator(self):
+        return DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(
+                forgetting=0.95, adaptive_forgetting=True
+            ),
+            margin_gain=0.0,  # isolate the anchor behaviour
+        )
+
+    def train(self, estimator, n=100, vF=25.0, vL=27.0, d0=100.0, seed=0):
+        rng = np.random.default_rng(seed)
+        d = d0
+        for k in range(n):
+            dv = vL - vF
+            estimator.observe(
+                measurement(k, d + rng.normal(0, 0.1), dv + rng.normal(0, 0.05)),
+                follower_speed=vF,
+            )
+            d += dv
+        return d
+
+    def test_spoofed_quarantine_rejected(self):
+        estimator = self.make_estimator()
+        vF, vL = 25.0, 27.0
+        d = self.train(estimator, vF=vF, vL=vL)
+        snap = estimator.snapshot()
+        # Quarantined samples carry a +6 m spoof.
+        for k in range(100, 104):
+            estimator.observe(
+                measurement(k, d + 6.0, vL - vF), follower_speed=vF
+            )
+            d += vL - vF
+        estimator.restore(snap)
+        est_d, _ = estimator.forecast(104.0, follower_speed=vF)
+        assert est_d == pytest.approx(d, abs=1.5)  # spoof did not stick
+
+    def test_clean_quarantine_reaccepted_after_regime_change(self):
+        estimator = self.make_estimator()
+        vF = 25.0
+        d = self.train(estimator, vF=vF, vL=27.0)
+        # The leader suddenly brakes hard inside the quarantine window.
+        snap = estimator.snapshot()
+        vL = 27.0
+        for k in range(100, 108):
+            vL -= 1.5
+            dv = vL - vF
+            estimator.observe(measurement(k, d, dv), follower_speed=vF)
+            d += dv
+        estimator.restore(snap)
+        est_d, est_dv = estimator.forecast(108.0, follower_speed=vF)
+        # The clean quarantined samples re-synchronized the anchor and
+        # the leader model despite the regime change.
+        assert est_d == pytest.approx(d, abs=3.0)
+        assert est_dv == pytest.approx(vL - 1.5 - vF, abs=2.0)

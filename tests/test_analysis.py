@@ -1,0 +1,188 @@
+"""Metrics, tables, ASCII plots (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    detection_confusion,
+    detection_latency,
+    estimation_rmse,
+    render_table,
+    safety_metrics,
+)
+from repro.analysis.metrics import series_rmse
+from repro.attacks import AttackWindow, DelayInjectionAttack
+from repro.simulation.results import TRACE_NAMES, SimulationResult
+from repro.types import DetectionEvent
+
+
+ATTACK = DelayInjectionAttack(AttackWindow(180.0, 300.0))
+
+
+def make_result(gaps, detections=()):
+    result = SimulationResult.empty("test")
+    for k, gap in enumerate(gaps):
+        values = {name: 0.0 for name in TRACE_NAMES}
+        values["true_distance"] = gap
+        result.record(float(k), **values)
+    result.detection_events = [
+        DetectionEvent(t, True, 1.0) for t in detections
+    ]
+    return result
+
+
+class TestDetectionLatency:
+    def test_exact_latency(self):
+        result = make_result([50.0] * 300, detections=[182.0])
+        assert detection_latency(result, ATTACK) == pytest.approx(2.0)
+
+    def test_none_when_missed(self):
+        result = make_result([50.0] * 300)
+        assert detection_latency(result, ATTACK) is None
+
+    def test_ignores_pre_attack_detections(self):
+        result = make_result([50.0] * 300, detections=[50.0])
+        assert detection_latency(result, ATTACK) is None
+
+
+class TestDetectionConfusion:
+    def events(self):
+        return [
+            DetectionEvent(15.0, False, 0.0),   # TN
+            DetectionEvent(50.0, False, 0.0),   # TN
+            DetectionEvent(175.0, False, 0.0),  # TN
+            DetectionEvent(182.0, True, 40.0),  # TP
+            DetectionEvent(195.0, True, 40.0),  # TP
+        ]
+
+    def test_perfect_detection(self):
+        confusion = detection_confusion(self.events(), ATTACK)
+        assert confusion.true_positives == 2
+        assert confusion.true_negatives == 3
+        assert confusion.false_positives == 0
+        assert confusion.false_negatives == 0
+        assert confusion.perfect
+        assert confusion.total == 5
+
+    def test_false_positive(self):
+        events = [DetectionEvent(15.0, True, 1.0)]
+        confusion = detection_confusion(events, ATTACK)
+        assert confusion.false_positives == 1
+        assert not confusion.perfect
+
+    def test_false_negative(self):
+        events = [DetectionEvent(195.0, False, 0.0)]
+        confusion = detection_confusion(events, ATTACK)
+        assert confusion.false_negatives == 1
+        assert not confusion.perfect
+
+    def test_no_attack_all_negative(self):
+        confusion = detection_confusion(self.events()[:3], None)
+        assert confusion.true_negatives == 3
+        assert confusion.perfect
+
+
+class TestSeriesRMSE:
+    def test_identical_series(self):
+        t = np.arange(10.0)
+        assert series_rmse(t, t * 2, t, t * 2) == 0.0
+
+    def test_constant_offset(self):
+        t = np.arange(10.0)
+        assert series_rmse(t, np.zeros(10), t, np.full(10, 3.0)) == pytest.approx(3.0)
+
+    def test_window(self):
+        t = np.arange(10.0)
+        values = np.zeros(10)
+        other = np.concatenate([np.zeros(5), np.full(5, 4.0)])
+        assert series_rmse(t, values, t, other, window=(0.0, 4.0)) == 0.0
+        assert series_rmse(t, values, t, other, window=(5.0, 9.0)) == pytest.approx(4.0)
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            series_rmse(np.array([0.0]), np.array([1.0]), np.array([5.0]), np.array([1.0]))
+
+    def test_estimation_rmse_uses_traces(self):
+        a = make_result([50.0, 40.0, 30.0])
+        b = make_result([50.0, 44.0, 33.0])
+        rmse = estimation_rmse(
+            a, b, trace="true_distance", reference_trace="true_distance"
+        )
+        assert rmse == pytest.approx(np.sqrt((0 + 16 + 9) / 3))
+
+
+class TestSafetyMetrics:
+    def test_safe_run(self):
+        metrics = safety_metrics(make_result([10.0, 8.0, 9.0]))
+        assert metrics.safe
+        assert metrics.min_gap == 8.0
+        assert metrics.time_gap_violated == 0.0
+
+    def test_violation_time(self):
+        metrics = safety_metrics(make_result([10.0, 1.0, 1.5, 9.0]), minimum_safe_gap=2.0)
+        assert metrics.time_gap_violated == pytest.approx(2.0)
+
+    def test_collision_reported(self):
+        result = make_result([10.0, 5.0, 1.0])
+        result.collision_time = 2.0
+        metrics = safety_metrics(result)
+        assert not metrics.safe
+        assert metrics.collision_time == 2.0
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": None}], title="T"
+        )
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+        assert "-" in text  # None cell
+
+    def test_bool_formatting(self):
+        text = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_explicit_columns(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestAsciiPlot:
+    def test_renders_series(self):
+        t = list(range(50))
+        text = ascii_plot(
+            {"line": (t, [float(x) for x in t])}, width=40, height=10, title="plot"
+        )
+        assert "plot" in text
+        assert "* line" in text
+        assert len(text.splitlines()) >= 12
+
+    def test_multiple_series_glyphs(self):
+        t = list(range(10))
+        text = ascii_plot(
+            {"a": (t, t), "b": (t, [2 * x for x in t])}, width=30, height=8
+        )
+        assert "* a" in text
+        assert "o b" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0], [0])}, width=5, height=2)
+
+    def test_constant_series(self):
+        text = ascii_plot({"flat": ([0, 1, 2], [5.0, 5.0, 5.0])}, width=30, height=6)
+        assert "flat" in text
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"nan": ([0.0], [float("nan")])})

@@ -1,0 +1,158 @@
+"""Attack models (repro.attacks)."""
+
+import math
+
+import pytest
+
+from repro.attacks import (
+    AttackSchedule,
+    AttackWindow,
+    DelayInjectionAttack,
+    DoSJammingAttack,
+    NoAttack,
+)
+from repro.radar import FMCWParameters, JammerParameters
+from repro.radar.link_budget import jammer_received_power
+from repro.types import AttackLabel
+
+
+class TestAttackWindow:
+    def test_contains(self):
+        w = AttackWindow(start=182.0, end=300.0)
+        assert not w.contains(181.9)
+        assert w.contains(182.0)
+        assert w.contains(250.0)
+        assert w.contains(300.0)
+        assert not w.contains(300.1)
+
+    def test_open_ended(self):
+        w = AttackWindow(start=10.0)
+        assert w.contains(1e9)
+        assert w.duration == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackWindow(start=-1.0)
+        with pytest.raises(ValueError):
+            AttackWindow(start=10.0, end=5.0)
+
+
+class TestDoSJammingAttack:
+    def make(self):
+        return DoSJammingAttack(AttackWindow(182.0, 300.0))
+
+    def test_label(self):
+        assert self.make().label is AttackLabel.DOS
+
+    def test_dormant_outside_window(self):
+        attack = self.make()
+        assert attack.effect_at(100.0, 50.0) is None
+        assert not attack.is_active(100.0)
+
+    def test_active_effect_is_jamming(self):
+        attack = self.make()
+        effect = attack.effect_at(200.0, 50.0)
+        assert effect is not None
+        assert effect.is_jamming
+        assert not effect.is_spoofing
+
+    def test_power_follows_link_budget(self):
+        attack = self.make()
+        params = FMCWParameters()
+        effect = attack.effect_at(200.0, 80.0)
+        expected = jammer_received_power(params, JammerParameters(), 80.0)
+        assert effect.jammer_noise_power == pytest.approx(expected)
+
+    def test_power_grows_as_gap_closes(self):
+        attack = self.make()
+        near = attack.effect_at(200.0, 20.0).jammer_noise_power
+        far = attack.effect_at(200.0, 120.0).jammer_noise_power
+        assert near > far
+
+    def test_minimum_distance_floor(self):
+        attack = DoSJammingAttack(AttackWindow(0.0), minimum_distance=5.0)
+        at_zero = attack.effect_at(1.0, 0.01).jammer_noise_power
+        at_floor = attack.effect_at(1.0, 5.0).jammer_noise_power
+        assert at_zero == pytest.approx(at_floor)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DoSJammingAttack(AttackWindow(0.0), minimum_distance=0.0)
+
+
+class TestDelayInjectionAttack:
+    def make(self, offset=6.0):
+        return DelayInjectionAttack(AttackWindow(180.0, 300.0), distance_offset=offset)
+
+    def test_label(self):
+        assert self.make().label is AttackLabel.DELAY
+
+    def test_effect_spoofs_paper_offset(self):
+        effect = self.make().effect_at(200.0, 50.0)
+        assert effect.spoof_distance_offset == 6.0
+        assert effect.replace_echo
+        assert effect.is_spoofing
+
+    def test_injected_delay(self):
+        # 6 m spoof = 40 ns of delay.
+        assert self.make().injected_delay == pytest.approx(4.003e-8, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(offset=-1.0)
+        with pytest.raises(ValueError):
+            DelayInjectionAttack(AttackWindow(0.0), counterfeit_power_gain=0.5)
+
+
+class TestNoAttack:
+    def test_never_active(self):
+        attack = NoAttack()
+        assert attack.label is AttackLabel.NONE
+        assert attack.effect_at(0.0, 10.0) is None
+        assert not attack.is_active(0.0)
+
+
+class TestAttackSchedule:
+    def test_empty(self):
+        schedule = AttackSchedule()
+        assert schedule.effect_at(0.0, 50.0) is None
+        assert not schedule.is_active(0.0)
+        assert schedule.earliest_onset() is None
+
+    def test_single_attack_passthrough(self):
+        attack = DelayInjectionAttack(AttackWindow(10.0, 20.0))
+        schedule = AttackSchedule([attack])
+        assert schedule.effect_at(15.0, 50.0) == attack.effect_at(15.0, 50.0)
+        assert schedule.earliest_onset() == 10.0
+
+    def test_disjoint_attacks(self):
+        schedule = AttackSchedule(
+            [
+                DoSJammingAttack(AttackWindow(10.0, 20.0)),
+                DelayInjectionAttack(AttackWindow(30.0, 40.0)),
+            ]
+        )
+        assert schedule.effect_at(15.0, 50.0).is_jamming
+        assert schedule.effect_at(35.0, 50.0).is_spoofing
+        assert schedule.effect_at(25.0, 50.0) is None
+        assert schedule.active_labels(15.0) == [AttackLabel.DOS]
+
+    def test_overlapping_attacks_compose(self):
+        schedule = AttackSchedule(
+            [
+                DoSJammingAttack(AttackWindow(10.0, 40.0)),
+                DoSJammingAttack(AttackWindow(30.0, 50.0)),
+                DelayInjectionAttack(AttackWindow(35.0, 60.0)),
+            ]
+        )
+        effect = schedule.effect_at(36.0, 50.0)
+        single = DoSJammingAttack(AttackWindow(0.0)).effect_at(1.0, 50.0)
+        # Jamming powers add; the spoof rides on top.
+        assert effect.jammer_noise_power == pytest.approx(
+            2.0 * single.jammer_noise_power
+        )
+        assert effect.is_spoofing
+
+    def test_add_chains(self):
+        schedule = AttackSchedule().add(NoAttack()).add(NoAttack())
+        assert len(schedule.attacks) == 2

@@ -1,0 +1,105 @@
+"""CUSUM and safety-envelope detector baselines (repro.core.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CUSUMDetector, SafetyEnvelopeDetector
+
+
+def stream(detector, n=300, attack_start=None, offset=6.0, ramp=0.0, noise=0.25, seed=0):
+    """Clean decreasing channel with an optional (ramped) offset attack."""
+    rng = np.random.default_rng(seed)
+    alarms = []
+    for k in range(n):
+        value = 100.0 - 0.2 * k + rng.normal(0, noise)
+        if attack_start is not None and k >= attack_start:
+            if ramp > 0.0:
+                value += offset * min(1.0, (k - attack_start) / ramp)
+            else:
+                value += offset
+        if detector.process(float(k), value):
+            alarms.append(k)
+    return alarms
+
+
+class TestCUSUMDetector:
+    def test_detects_step(self):
+        alarms = stream(CUSUMDetector(), attack_start=150)
+        assert alarms
+        assert 150 <= alarms[0] <= 160
+
+    def test_smooth_ramp_evades_or_lags(self):
+        # A constant-velocity reference tracks a smooth spoof ramp as a
+        # legitimate maneuver: CUSUM misses it or fires far late — the
+        # fundamental limitation the detection bench contrasts with CRA.
+        alarms = stream(CUSUMDetector(), attack_start=150, ramp=60.0)
+        assert alarms == [] or alarms[0] > 170
+
+    def test_latency_grows_with_stealth(self):
+        step = stream(CUSUMDetector(), attack_start=150, ramp=0.0, seed=1)
+        ramp = stream(CUSUMDetector(), attack_start=150, ramp=60.0, seed=1)
+        assert step
+        assert (not ramp) or ramp[0] > step[0]
+
+    def test_quiet_on_clean_data(self):
+        alarms = stream(CUSUMDetector(), attack_start=None)
+        assert len(alarms) <= 1
+
+    def test_statistic_property(self):
+        detector = CUSUMDetector()
+        stream(detector, n=50)
+        assert detector.statistic >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CUSUMDetector(drift=-1.0)
+        with pytest.raises(ValueError):
+            CUSUMDetector(threshold=0.0)
+
+
+class TestSafetyEnvelopeDetector:
+    def test_learns_then_alarms_on_gross_violation(self):
+        detector = SafetyEnvelopeDetector(
+            training_samples=60, value_bounds=(2.0, 200.0)
+        )
+        alarms = stream(detector, attack_start=150, offset=150.0)
+        assert detector.trained
+        assert alarms
+        assert alarms[0] == 150
+
+    def test_blind_inside_envelope(self):
+        # A +6 m spoof stays within the 100 -> 40 m training range:
+        # envelope detection cannot see it (the Tiwari-style limitation).
+        detector = SafetyEnvelopeDetector(training_samples=100)
+        alarms = stream(detector, attack_start=150, offset=6.0, ramp=30.0)
+        assert alarms == []
+
+    def test_rate_bound_catches_jumps(self):
+        detector = SafetyEnvelopeDetector(training_samples=60, margin=0.5)
+        alarms = stream(detector, attack_start=150, offset=30.0)
+        # The value stays physically plausible, but the +30 one-step
+        # jump violates the learned rate bound.
+        assert alarms
+        assert alarms[0] == 150
+
+    def test_quiet_on_clean_data(self):
+        detector = SafetyEnvelopeDetector(training_samples=60)
+        alarms = stream(detector, attack_start=None)
+        assert alarms == []
+
+    def test_bounds_exposed(self):
+        detector = SafetyEnvelopeDetector(training_samples=10)
+        stream(detector, n=20)
+        rate_lo, rate_hi = detector.bounds
+        assert rate_lo < rate_hi
+
+    def test_value_bounds_validation(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            SafetyEnvelopeDetector(value_bounds=(10.0, 5.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SafetyEnvelopeDetector(training_samples=1)
+        with pytest.raises(ValueError):
+            SafetyEnvelopeDetector(margin=-0.1)

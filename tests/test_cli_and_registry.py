@@ -1,0 +1,101 @@
+"""Experiment registry and command-line interface."""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import REGISTRY, experiments_table, get_experiment
+from repro.cli import main
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = {exp.identifier for exp in REGISTRY}
+        # Every figure panel and results paragraph of the paper.
+        for required in (
+            "fig2a",
+            "fig2b",
+            "fig3a",
+            "fig3b",
+            "results-detection",
+            "results-rls-runtime",
+            "jammer-feasibility",
+        ):
+            assert required in ids
+
+    def test_every_bench_file_exists(self):
+        for exp in REGISTRY:
+            assert (BENCH_DIR / exp.bench).is_file(), f"{exp.bench} missing"
+
+    def test_every_bench_file_is_registered(self):
+        registered = {exp.bench for exp in REGISTRY}
+        on_disk = {p.name for p in BENCH_DIR.glob("bench_*.py")}
+        assert on_disk == registered
+
+    def test_get_experiment(self):
+        exp = get_experiment("fig2a")
+        assert "DoS" in exp.title
+        assert exp.kind == "figure"
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="fig2a"):
+            get_experiment("fig9z")
+
+    def test_paper_claims_present_for_paper_artifacts(self):
+        for exp in REGISTRY:
+            if exp.kind in ("figure", "table"):
+                assert exp.paper_claim
+
+    def test_table_rendering(self):
+        text = experiments_table()
+        assert "fig2a" in text
+        assert "bench_fig2a_dos_constant_decel.py" in text
+
+    def test_table_filtering(self):
+        text = experiments_table(kind="ablation")
+        assert "ablation-forgetting" in text
+        assert "fig2a" not in text
+
+
+class TestCLI:
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_list(self):
+        code, text = self.run_cli(["list"])
+        assert code == 0
+        assert "fig2a" in text
+        assert "platoon-string-stability" in text
+
+    def test_run_figure(self):
+        code, text = self.run_cli(["run", "fig2a", "--no-plot", "--seed", "7"])
+        assert code == 0
+        assert "detection at k = 182 s" in text
+        assert "0 FP / 0 FN" in text
+
+    def test_run_figure_with_plot(self):
+        code, text = self.run_cli(["run", "fig2b"])
+        assert code == 0
+        assert "radar distance" in text
+        assert "estimated" in text
+
+    def test_run_non_figure_points_to_bench(self):
+        code, text = self.run_cli(["run", "jammer-feasibility"])
+        assert code == 0
+        assert "pytest benchmarks/bench_jammer_feasibility.py" in text
+
+    def test_run_unknown_experiment(self):
+        code, text = self.run_cli(["run", "fig9z"])
+        assert code == 2
+        assert "unknown experiment" in text
+
+    def test_report(self):
+        code, text = self.run_cli(["report"])
+        assert code == 0
+        assert "fig3b" in text
+        assert "Paper-vs-measured" in text

@@ -1,0 +1,141 @@
+"""Dead-reckoning estimator (repro.core.dead_reckoning)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelPredictor, DeadReckoningEstimator
+from repro.exceptions import EstimatorNotTrainedError
+from repro.types import RadarMeasurement
+
+
+def measurement(k, d, dv):
+    return RadarMeasurement(time=float(k), distance=d, relative_velocity=dv)
+
+
+def train_constant_decel(estimator, n=60, vF=25.0, vL0=29.0, decel=-0.1):
+    """Leader decelerating; follower speed constant for simplicity."""
+    d = 100.0
+    for k in range(n):
+        vL = vL0 + decel * k
+        dv = vL - vF
+        estimator.observe(measurement(k, d, dv), follower_speed=vF)
+        d += dv
+    return d  # true distance at time n
+
+
+class TestTrainingAndForecast:
+    def test_requires_follower_speed(self):
+        estimator = DeadReckoningEstimator()
+        with pytest.raises(ValueError):
+            estimator.observe(measurement(0, 100.0, 0.0))
+
+    def test_forecast_requires_follower_speed(self):
+        estimator = DeadReckoningEstimator()
+        train_constant_decel(estimator)
+        with pytest.raises(ValueError):
+            estimator.forecast(70.0)
+
+    def test_untrained_raises(self):
+        estimator = DeadReckoningEstimator()
+        with pytest.raises(EstimatorNotTrainedError):
+            estimator.forecast(10.0, follower_speed=20.0)
+
+    def test_perfect_leader_model_gives_exact_gap(self):
+        estimator = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+        )
+        vF, vL0, decel = 25.0, 29.0, -0.1
+        train_constant_decel(estimator, n=60, vF=vF, vL0=vL0, decel=decel)
+        # The estimator anchors at the last *observed* sample (k = 59)
+        # and integrates with the midpoint rule (exact for a linear
+        # leader velocity); the reference here does the same.
+        d = 100.0 + sum(vL0 + decel * k - vF for k in range(59))  # d at k = 59
+        for k in range(60, 80):
+            vL_mid = vL0 + decel * (k - 0.5)
+            d += vL_mid - vF
+            est_d, est_dv = estimator.forecast(float(k), follower_speed=vF)
+        assert est_d == pytest.approx(d, abs=0.1)
+        assert est_dv == pytest.approx((vL0 + decel * 79) - vF, abs=0.05)
+
+    def test_velocity_estimate_reacts_to_live_follower_speed(self):
+        # The feedback property: Δv̂ = v̂L - v_F uses the *current* v_F.
+        estimator = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+        )
+        train_constant_decel(estimator, n=40)
+        _, dv_slow = estimator.forecast(41.0, follower_speed=10.0)
+        estimator2 = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+        )
+        train_constant_decel(estimator2, n=40)
+        _, dv_fast = estimator2.forecast(41.0, follower_speed=30.0)
+        assert dv_slow - dv_fast == pytest.approx(20.0, abs=0.01)
+
+    def test_gap_clamped_nonnegative(self):
+        estimator = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+        )
+        # Tiny gap, follower much faster: integration would go negative.
+        for k in range(10):
+            estimator.observe(measurement(k, 5.0, -0.1), follower_speed=20.0)
+        d, _ = estimator.forecast(30.0, follower_speed=30.0)
+        assert d == 0.0
+
+    def test_leader_velocity_clamped_at_zero(self):
+        estimator = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+        )
+        # Leader will cross standstill shortly after training ends.
+        vF = 5.0
+        for k in range(30):
+            vL = 3.0 - 0.1 * k  # hits zero at k = 30
+            estimator.observe(measurement(k, 50.0, vL - vF), follower_speed=vF)
+        _, dv = estimator.forecast(100.0, follower_speed=vF)
+        # v̂L clamps to 0, so Δv̂ = -v_F.
+        assert dv == pytest.approx(-vF, abs=0.01)
+
+    def test_unclamped_mode(self):
+        estimator = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8),
+            nonnegative_leader_velocity=False,
+        )
+        vF = 5.0
+        for k in range(30):
+            vL = 3.0 - 0.1 * k
+            estimator.observe(measurement(k, 50.0, vL - vF), follower_speed=vF)
+        _, dv = estimator.forecast(100.0, follower_speed=vF)
+        assert dv < -vF  # negative leader velocity allowed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadReckoningEstimator(sample_period=0.0)
+
+
+class TestSnapshotRestore:
+    def test_rollback_discards_corrupted_samples(self):
+        estimator = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+        )
+        vF = 25.0
+        train_constant_decel(estimator, n=50, vF=vF)
+        snap = estimator.snapshot()
+        # Corrupted samples: +6 m spoof on distance.
+        d_spoof = 100.0
+        for k in range(50, 53):
+            estimator.observe(measurement(k, d_spoof + 6.0, 0.0), follower_speed=vF)
+        estimator.restore(snap)
+        d, _ = estimator.forecast(53.0, follower_speed=vF)
+        # The anchor reverted to the authenticated distance and rolled
+        # forward with the logged speeds — no trace of the +6 m spoof.
+        clean = DeadReckoningEstimator(
+            leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+        )
+        train_constant_decel(clean, n=50, vF=vF)
+        d_clean, _ = clean.forecast(53.0, follower_speed=vF)
+        assert d == pytest.approx(d_clean, abs=0.5)
+
+    def test_restore_before_any_anchor(self):
+        estimator = DeadReckoningEstimator()
+        snap = estimator.snapshot()
+        estimator.restore(snap)
+        assert not estimator.trained

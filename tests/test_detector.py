@@ -1,0 +1,130 @@
+"""CRA detector (repro.core.detector) — Algorithm 2 lines 7-9, 13-15."""
+
+import pytest
+
+from repro.core import ChallengeSchedule, CRADetector
+from repro.types import RadarMeasurement, SensorStatus
+
+
+def challenge_measurement(time, distance=0.0, velocity=0.0):
+    return RadarMeasurement(
+        time=time,
+        distance=distance,
+        relative_velocity=velocity,
+        status=SensorStatus.CHALLENGE,
+    )
+
+
+def nominal_measurement(time, distance=100.0, velocity=-1.0):
+    return RadarMeasurement(time=time, distance=distance, relative_velocity=velocity)
+
+
+SCHEDULE = ChallengeSchedule.from_times([15.0, 50.0, 175.0, 182.0, 195.0])
+
+
+class TestDetection:
+    def test_clean_challenge_no_alarm(self):
+        detector = CRADetector(SCHEDULE)
+        event = detector.process(challenge_measurement(15.0))
+        assert event is not None
+        assert not event.attack_detected
+        assert not detector.attack_active
+
+    def test_nonzero_at_challenge_raises_alarm(self):
+        # Algorithm 2 line 9: y' ∈ list_zero and Val(y') != 0.
+        detector = CRADetector(SCHEDULE)
+        event = detector.process(challenge_measurement(182.0, distance=240.0))
+        assert event.attack_detected
+        assert detector.attack_active
+        assert detector.first_detection_time == 182.0
+
+    def test_velocity_only_output_also_detects(self):
+        detector = CRADetector(SCHEDULE)
+        event = detector.process(challenge_measurement(182.0, velocity=-40.0))
+        assert event.attack_detected
+
+    def test_non_challenge_measurements_ignored(self):
+        detector = CRADetector(SCHEDULE)
+        assert detector.process(nominal_measurement(100.0)) is None
+        assert not detector.attack_active
+        assert detector.events == []
+
+    def test_corrupted_non_challenge_does_not_alarm(self):
+        # CRA only inspects challenge instants: a spoofed value at a
+        # normal instant is indistinguishable from a real echo.
+        detector = CRADetector(SCHEDULE)
+        assert detector.process(nominal_measurement(100.0, distance=500.0)) is None
+        assert not detector.attack_active
+
+    def test_alarm_clears_on_clean_challenge(self):
+        # Algorithm 2 lines 13-15.
+        detector = CRADetector(SCHEDULE)
+        detector.process(challenge_measurement(182.0, distance=240.0))
+        assert detector.attack_active
+        detector.process(challenge_measurement(195.0))
+        assert not detector.attack_active
+
+    def test_detection_times_records_raising_edges(self):
+        detector = CRADetector(SCHEDULE)
+        detector.process(challenge_measurement(15.0))
+        detector.process(challenge_measurement(50.0, distance=10.0))
+        detector.process(challenge_measurement(175.0))
+        detector.process(challenge_measurement(182.0, distance=10.0))
+        assert detector.detection_times == [50.0, 182.0]
+
+    def test_sustained_attack_counts_once(self):
+        detector = CRADetector(SCHEDULE)
+        detector.process(challenge_measurement(182.0, distance=10.0))
+        detector.process(challenge_measurement(195.0, distance=10.0))
+        assert detector.detection_times == [182.0]
+        assert detector.attack_active
+
+
+class TestTolerance:
+    def test_numeric_dust_below_tolerance_is_zero(self):
+        detector = CRADetector(SCHEDULE, zero_tolerance=1e-6)
+        event = detector.process(challenge_measurement(15.0, distance=1e-9))
+        assert not event.attack_detected
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            CRADetector(SCHEDULE, zero_tolerance=-1.0)
+
+    def test_reset(self):
+        detector = CRADetector(SCHEDULE)
+        detector.process(challenge_measurement(182.0, distance=10.0))
+        detector.reset()
+        assert not detector.attack_active
+        assert detector.events == []
+        assert detector.first_detection_time is None
+
+
+class TestPaperClaims:
+    def test_no_false_positives_over_clean_run(self):
+        """300 s of clean operation: every challenge verdict is negative."""
+        detector = CRADetector(SCHEDULE)
+        for k in range(300):
+            time = float(k)
+            if SCHEDULE.is_challenge(time):
+                detector.process(challenge_measurement(time))
+            else:
+                detector.process(nominal_measurement(time))
+        assert all(not e.attack_detected for e in detector.events)
+        assert len(detector.events) == len(SCHEDULE)
+
+    def test_detection_at_first_challenge_after_onset(self):
+        """An attack starting at 180 is caught exactly at the 182 challenge."""
+        detector = CRADetector(SCHEDULE)
+        onset = 180.0
+        for k in range(300):
+            time = float(k)
+            attacked = time >= onset
+            if SCHEDULE.is_challenge(time):
+                distance = 106.0 if attacked else 0.0
+                detector.process(challenge_measurement(time, distance=distance))
+            else:
+                detector.process(nominal_measurement(time))
+        assert detector.first_detection_time == 182.0
+        assert detector.first_detection_time == SCHEDULE.next_challenge_at_or_after(
+            onset
+        )

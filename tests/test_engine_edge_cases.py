@@ -1,0 +1,124 @@
+"""Simulation-engine corner cases."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ACCParameters,
+    ConstantAccelerationProfile,
+    Scenario,
+    fig2_scenario,
+    run_single,
+)
+from repro.simulation.scenario import DefenseConfig
+from repro.vehicle.upper_controller import ControlMode
+
+
+class TestTargetAcquisition:
+    def test_out_of_range_target_starts_in_speed_mode(self):
+        # Initial gap beyond the radar's 200 m envelope: no detections,
+        # the tracker has no track, the ACC cruises at the set speed.
+        scenario = Scenario(
+            name="far-start",
+            leader_profile=ConstantAccelerationProfile(0.0),
+            initial_distance=400.0,
+            leader_initial_speed=20.0,
+            follower_initial_speed=25.0,
+            horizon=60.0,
+        )
+        result = run_single(scenario, attack_enabled=False, defended=False)
+        assert result.array("spacing_mode")[0] == 0.0
+        vF = result.array("follower_velocity")
+        # Cruising toward v_set until the leader comes into range.
+        assert vF[10] > 25.0
+
+    def test_acquires_target_when_entering_range(self):
+        scenario = Scenario(
+            name="acquire",
+            leader_profile=ConstantAccelerationProfile(0.0),
+            initial_distance=250.0,
+            leader_initial_speed=20.0,
+            follower_initial_speed=29.0,
+            horizon=120.0,
+        )
+        result = run_single(scenario, attack_enabled=False, defended=False)
+        gaps = result.array("true_distance")
+        assert gaps[0] > 200.0
+        # Once inside the envelope, the follower regulates the gap: no
+        # collision and eventually spacing mode.
+        assert not result.collided
+        assert result.array("spacing_mode")[-1] == 1.0
+
+
+class TestCollisionHandling:
+    def test_collision_time_recorded_once_and_run_continues(self):
+        result = run_single(fig2_scenario("dos"), defended=False)
+        assert result.collided
+        # Full-length traces even past the collision.
+        assert len(result.times) == 301
+        # Gap floor keeps the radar geometry defined (measured distance
+        # stays finite after the crossing).
+        measured = result.array("measured_distance")
+        assert np.all(np.isfinite(measured))
+
+    def test_summary_reports_collision(self):
+        result = run_single(fig2_scenario("dos"), defended=False)
+        summary = result.summary()
+        assert summary.collided
+        assert summary.collision_time == result.collision_time
+
+
+class TestDefenseConfigVariants:
+    def test_per_channel_estimator_runs(self):
+        scenario = fig2_scenario(
+            "dos", defense=DefenseConfig(estimator_kind="per_channel")
+        )
+        result = run_single(scenario, defended=True)
+        assert result.detection_times == [182.0]
+
+    def test_ar_basis_defense_runs(self):
+        scenario = fig2_scenario(
+            "dos",
+            defense=DefenseConfig(
+                estimator_kind="per_channel", basis_kind="ar", basis_order=2
+            ),
+        )
+        result = run_single(scenario, defended=True)
+        assert result.detection_times == [182.0]
+
+    def test_rollback_disabled_runs(self):
+        scenario = fig2_scenario(
+            "delay", defense=DefenseConfig(rollback_on_detection=False)
+        )
+        result = run_single(scenario, defended=True)
+        assert result.detection_times == [182.0]
+
+    def test_margin_disabled_runs(self):
+        scenario = fig2_scenario("dos", defense=DefenseConfig(margin_gain=0.0))
+        result = run_single(scenario, defended=True)
+        assert result.detection_times == [182.0]
+
+    def test_noise_overrides_change_measurements(self):
+        quiet = run_single(
+            fig2_scenario("dos", distance_noise_std=0.0, velocity_noise_std=0.0),
+            attack_enabled=False,
+            defended=False,
+        )
+        errors = np.abs(
+            quiet.array("measured_distance")[1:10] - quiet.array("true_distance")[1:10]
+        )
+        assert np.all(errors < 1e-9)
+
+
+class TestAggressiveScenario:
+    def test_hard_braking_leader_defended(self):
+        # Much harsher than the paper: -1 m/s² leader braking under attack.
+        scenario = fig2_scenario("dos").with_overrides(
+            name="hard-brake",
+            leader_profile=ConstantAccelerationProfile(-1.0, start_time=160.0),
+            acc_params=ACCParameters(),
+        )
+        result = run_single(scenario, defended=True)
+        assert result.detection_times[0] == 182.0
+        # The leader stops at ~189 s; safety margin shrinks but holds.
+        assert not result.collided

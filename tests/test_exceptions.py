@@ -1,0 +1,54 @@
+"""Exception hierarchy (repro.exceptions) — API stability contract."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    EstimatorNotTrainedError,
+    RadarRangeError,
+    ReproError,
+    SimulationError,
+    SpectralEstimationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            RadarRangeError,
+            EstimatorNotTrainedError,
+            SimulationError,
+            SpectralEstimationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_single_except_clause_catches_library_errors(self):
+        from repro import FMCWParameters
+
+        with pytest.raises(ReproError):
+            FMCWParameters(sweep_time=-1.0)
+
+    def test_library_validation_uses_configuration_error(self):
+        from repro import ACCParameters
+
+        with pytest.raises(ConfigurationError):
+            ACCParameters(headway_time=0.0)
+
+    def test_estimator_error_raised_when_untrained(self):
+        from repro.core import ChannelPredictor
+
+        with pytest.raises(EstimatorNotTrainedError):
+            ChannelPredictor().forecast(1.0)
+
+    def test_spectral_error_raised_on_short_signal(self):
+        import numpy as np
+
+        from repro.radar import root_music
+
+        with pytest.raises(SpectralEstimationError):
+            root_music(np.ones(4, dtype=complex), 2, 1e5)

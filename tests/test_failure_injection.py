@@ -1,0 +1,87 @@
+"""Failure injection: sensor dropouts under and around attacks."""
+
+import numpy as np
+import pytest
+
+from repro import FMCWRadarSensor, fig2_scenario, run_single
+from repro.exceptions import ConfigurationError
+
+
+class TestSensorDropouts:
+    def test_dropout_rate_zero_by_default(self):
+        sensor = FMCWRadarSensor(seed=0)
+        outputs = [sensor.measure(float(k), 80.0, -1.0) for k in range(50)]
+        assert all(not m.is_zero_output(1e-9) for m in outputs)
+
+    def test_dropouts_produce_zero_outputs(self):
+        sensor = FMCWRadarSensor(seed=0, dropout_rate=0.3)
+        outputs = [sensor.measure(float(k), 80.0, -1.0) for k in range(200)]
+        zeros = sum(m.is_zero_output(1e-9) for m in outputs)
+        assert 30 < zeros < 90  # ~30%
+
+    def test_jamming_energy_is_never_dropped(self):
+        # A dropout models a faded echo; the jammer's energy still
+        # arrives, so DoS corruption is unaffected.
+        from repro.radar import JammerParameters
+        from repro.radar.link_budget import jammer_received_power
+        from repro.radar.sensor import AttackEffect
+
+        sensor = FMCWRadarSensor(seed=0, dropout_rate=0.9)
+        power = jammer_received_power(
+            sensor.params, JammerParameters(), 80.0
+        )
+        effect = AttackEffect(jammer_noise_power=power)
+        outputs = [
+            sensor.measure(float(k), 80.0, -1.0, effect=effect) for k in range(50)
+        ]
+        assert all(not m.is_zero_output(1e-9) for m in outputs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FMCWRadarSensor(dropout_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            FMCWRadarSensor(dropout_rate=-0.1)
+
+
+class TestDefenseUnderDropouts:
+    @pytest.fixture(scope="class")
+    def dropout_scenario(self):
+        return fig2_scenario("dos", dropout_rate=0.05)
+
+    def test_no_false_positives_from_dropouts(self, dropout_scenario):
+        """A dropout is a zero output — the same value an honest
+        challenge produces — so it can never look like an attack."""
+        result = run_single(dropout_scenario, attack_enabled=False, defended=True)
+        assert all(not e.attack_detected for e in result.detection_events)
+
+    def test_dropouts_bridged_by_estimates(self, dropout_scenario):
+        result = run_single(dropout_scenario, attack_enabled=False, defended=True)
+        # Some non-challenge instants were estimated (the dropouts)...
+        schedule = dropout_scenario.schedule()
+        estimated = result.array("estimated_flag")
+        times = result.times
+        non_challenge_estimated = sum(
+            flag == 1.0
+            for t, flag in zip(times, estimated)
+            if not schedule.is_challenge(float(t))
+        )
+        assert non_challenge_estimated > 0
+        # ...and the controller never saw a bogus zero distance.
+        safe = result.array("safe_distance")
+        in_track = times > 10.0
+        assert np.min(safe[in_track]) > 1.0
+
+    def test_detection_still_exact_under_dropouts(self, dropout_scenario):
+        result = run_single(dropout_scenario, defended=True)
+        assert result.detection_times == [182.0]
+
+    def test_defended_run_safe_under_dropouts(self, dropout_scenario):
+        for seed in (2017, 7):
+            result = run_single(
+                dropout_scenario.with_overrides(sensor_seed=seed), defended=True
+            )
+            assert not result.collided
+
+    def test_undefended_tracker_coasts_through_dropouts(self, dropout_scenario):
+        result = run_single(dropout_scenario, attack_enabled=False, defended=False)
+        assert not result.collided

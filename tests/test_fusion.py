@@ -1,0 +1,86 @@
+"""Redundant-sensor fusion defense (repro.core.fusion)."""
+
+import pytest
+
+from repro import fig2_scenario
+from repro.core.fusion import MedianFusionDefense, run_redundant_defense
+from repro.exceptions import ConfigurationError
+from repro.types import RadarMeasurement
+
+
+def measurement(d, dv=0.0, t=0.0):
+    return RadarMeasurement(time=t, distance=d, relative_velocity=dv)
+
+
+class TestMedianFusion:
+    def test_median_of_three(self):
+        fusion = MedianFusionDefense(n_sensors=3)
+        fused = fusion.fuse([measurement(50.0), measurement(51.0), measurement(49.0)])
+        assert fused.distance == 50.0
+        assert not fused.attack_suspected
+
+    def test_single_outlier_out_voted_and_flagged(self):
+        fusion = MedianFusionDefense(n_sensors=3)
+        fused = fusion.fuse([measurement(90.0), measurement(50.0), measurement(50.5)])
+        assert fused.distance == pytest.approx(50.5)
+        assert fused.outlier_sensors == (0,)
+        assert fused.attack_suspected
+
+    def test_majority_corruption_defeats_fusion(self):
+        # The redundancy assumption breaks when the attacker reaches a
+        # majority: the median IS the corrupted value.
+        fusion = MedianFusionDefense(n_sensors=3)
+        fused = fusion.fuse([measurement(90.0), measurement(90.2), measurement(50.0)])
+        assert fused.distance == pytest.approx(90.0)
+
+    def test_small_spoof_inside_threshold_undetected(self):
+        # A +2 m spoof hides under a 3 m disagreement threshold.
+        fusion = MedianFusionDefense(n_sensors=3, disagreement_threshold=3.0)
+        fused = fusion.fuse([measurement(52.0), measurement(50.0), measurement(50.1)])
+        assert not fused.attack_suspected
+
+    def test_history_and_suspected_times(self):
+        fusion = MedianFusionDefense(n_sensors=2)
+        fusion.fuse([measurement(50.0, t=0.0), measurement(50.0, t=0.0)])
+        fusion.fuse([measurement(90.0, t=1.0), measurement(50.0, t=1.0)])
+        assert len(fusion.history) == 2
+        assert fusion.suspected_times == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MedianFusionDefense(n_sensors=1)
+        with pytest.raises(ConfigurationError):
+            MedianFusionDefense(disagreement_threshold=0.0)
+        with pytest.raises(ValueError):
+            MedianFusionDefense(n_sensors=3).fuse([measurement(1.0)])
+
+
+class TestClosedLoopRedundancy:
+    def test_minority_delay_attack_survived(self):
+        # 3 radars, attacker spoofs one: the median out-votes it.
+        scenario = fig2_scenario("delay")
+        result, fusion = run_redundant_defense(scenario, n_sensors=3, n_attacked=1)
+        assert not result.collided
+        # The +6 m outlier is also flagged almost immediately.
+        flagged = [t for t in fusion.suspected_times if t >= 180.0]
+        assert flagged and flagged[0] <= 185.0
+
+    def test_broadcast_dos_defeats_redundancy(self):
+        # Jamming is a broadcast attack: every co-located radar is hit,
+        # the median is corrupted, and redundancy fails — the structural
+        # weakness CRA+RLS does not share.
+        scenario = fig2_scenario("dos")
+        result, _ = run_redundant_defense(scenario, n_sensors=3, n_attacked=3)
+        assert result.collided
+
+    def test_clean_run_matches_single_sensor_behaviour(self):
+        scenario = fig2_scenario("dos")
+        result, fusion = run_redundant_defense(
+            scenario, n_sensors=3, attack_enabled=False
+        )
+        assert not result.collided
+        assert fusion.suspected_times == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_redundant_defense(fig2_scenario("dos"), n_sensors=3, n_attacked=5)

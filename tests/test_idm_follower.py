@@ -1,0 +1,81 @@
+"""IDM as a drop-in follower controller (repro.vehicle.idm)."""
+
+import pytest
+
+from repro import fig2_scenario, run_single
+from repro.exceptions import ConfigurationError
+from repro.vehicle import IDMFollowerController, IDMParameters
+from repro.vehicle.upper_controller import ControlMode
+
+
+class TestIDMFollowerController:
+    def test_free_road_step(self):
+        controller = IDMFollowerController()
+        result = controller.step(20.0, None)
+        assert result.mode is ControlMode.SPEED
+        assert result.desired_acceleration > 0.0
+
+    def test_close_gap_brakes(self):
+        controller = IDMFollowerController()
+        result = controller.step(20.0, (10.0, -5.0))
+        assert result.mode is ControlMode.SPACING
+        assert result.desired_acceleration < 0.0
+        assert result.actuation.brake_pressure > 0.0
+
+    def test_saturation_applied(self):
+        controller = IDMFollowerController()
+        result = controller.step(30.0, (1.0, -20.0))
+        assert result.desired_acceleration == controller.acc_params.min_acceleration
+
+    def test_custom_parameters(self):
+        controller = IDMFollowerController(IDMParameters(desired_speed=20.0))
+        # At the desired speed the free-road term vanishes.
+        result = controller.step(20.0, None)
+        assert result.desired_acceleration == pytest.approx(0.0, abs=1e-9)
+
+    def test_reset(self):
+        controller = IDMFollowerController()
+        controller.step(20.0, (10.0, -5.0))
+        controller.reset()
+        assert controller.actual_acceleration == 0.0
+
+
+class TestIDMFollowerClosedLoop:
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigurationError):
+            fig2_scenario("dos", follower_policy="human")
+
+    def test_clean_run_safe(self):
+        scenario = fig2_scenario("dos", follower_policy="idm")
+        result = run_single(scenario, attack_enabled=False, defended=False)
+        assert not result.collided
+
+    def test_attack_still_lethal(self):
+        scenario = fig2_scenario("dos", follower_policy="idm")
+        result = run_single(scenario, defended=False)
+        assert result.collided
+
+    def test_defense_is_policy_agnostic(self):
+        """The CRA+RLS pipeline protects an IDM follower identically."""
+        scenario = fig2_scenario("dos", follower_policy="idm")
+        result = run_single(scenario, defended=True)
+        assert result.detection_times == [182.0]
+        assert not result.collided
+
+    def test_delay_attack_with_idm(self):
+        scenario = fig2_scenario("delay", follower_policy="idm")
+        attacked = run_single(scenario, defended=False)
+        defended = run_single(scenario, defended=True)
+        assert defended.min_gap() > attacked.min_gap()
+        assert not defended.collided
+
+    def test_custom_idm_params_via_scenario(self):
+        scenario = fig2_scenario(
+            "dos",
+            follower_policy="idm",
+            idm_params=IDMParameters(minimum_gap=6.0, time_headway=2.5),
+        )
+        result = run_single(scenario, attack_enabled=False, defended=False)
+        assert not result.collided
+        # The larger standstill gap shows up at the end of the run.
+        assert result.array("true_distance")[-1] > 4.0

@@ -1,0 +1,111 @@
+"""End-to-end recovery behaviour: attacks that end mid-run.
+
+Algorithm 2 lines 13-15: a clean challenge response after the attack
+stops clears the alarm and hands control back to the live sensor.
+These tests run finite attack windows through the full closed loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AttackWindow,
+    DelayInjectionAttack,
+    DoSJammingAttack,
+    fig2_scenario,
+    run_single,
+)
+
+
+def finite_attack_scenario(kind="dos", start=112.0, end=150.0):
+    base = fig2_scenario(kind)
+    if kind == "dos":
+        attack = DoSJammingAttack(AttackWindow(start, end))
+    else:
+        attack = DelayInjectionAttack(AttackWindow(start, end), distance_offset=6.0)
+    return base.with_overrides(name=f"finite-{kind}", attack=attack)
+
+
+class TestFiniteAttackRecovery:
+    @pytest.mark.parametrize("kind", ["dos", "delay"])
+    def test_alarm_raised_then_cleared(self, kind):
+        scenario = finite_attack_scenario(kind)
+        result = run_single(scenario, defended=True)
+        events = result.detection_events
+        raised = [e.time for e in events if e.attack_detected]
+        # Attack [112, 150]: challenges at 112 and 137 fire; the next
+        # challenge after 150 (159) is clean and clears the alarm.
+        assert raised
+        assert min(raised) == 112.0
+        assert max(raised) <= 150.0
+        cleared = [e.time for e in events if not e.attack_detected and e.time > 150.0]
+        assert cleared
+        assert min(cleared) == 159.0
+
+    @pytest.mark.parametrize("kind", ["dos", "delay"])
+    def test_sensor_retrusted_after_recovery(self, kind):
+        scenario = finite_attack_scenario(kind)
+        result = run_single(scenario, defended=True)
+        estimated = result.array("estimated_flag")
+        times = result.times
+        # During the attack everything is estimated...
+        during = estimated[(times >= 113.0) & (times <= 150.0)]
+        assert np.all(during == 1.0)
+        # ...after the clearing challenge, non-challenge samples pass
+        # through again.
+        schedule = scenario.schedule()
+        after = [
+            estimated[int(t)]
+            for t in range(165, 300)
+            if not schedule.is_challenge(float(t))
+        ]
+        assert not any(after)
+
+    @pytest.mark.parametrize("kind", ["dos", "delay"])
+    def test_finite_attack_defended_run_is_safe(self, kind):
+        result = run_single(finite_attack_scenario(kind), defended=True)
+        assert not result.collided
+        assert result.min_gap() > 0.0
+
+    def test_defended_tracks_baseline_after_recovery(self):
+        scenario = finite_attack_scenario("dos")
+        defended = run_single(scenario, defended=True)
+        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        gap_defended = defended.array("true_distance")
+        gap_baseline = baseline.array("true_distance")
+        times = defended.times
+        # Well after recovery the closed loop reconverges to the
+        # baseline trajectory.
+        late = (times >= 250.0) & (times <= 300.0)
+        assert np.max(np.abs(gap_defended[late] - gap_baseline[late])) < 10.0
+
+    def test_two_attacks_in_one_run(self):
+        """A second attack after recovery is detected again."""
+        from repro.attacks.scheduler import AttackSchedule
+
+        class Composite:
+            def __init__(self, schedule, label_attack):
+                self._schedule = schedule
+                self.window = AttackWindow(
+                    start=schedule.earliest_onset(),
+                    end=max(a.window.end for a in schedule.attacks),
+                )
+                self.label = label_attack.label
+
+            def effect_at(self, time, true_distance, true_relative_velocity=0.0):
+                return self._schedule.effect_at(
+                    time, true_distance, true_relative_velocity
+                )
+
+            def is_active(self, time):
+                return self._schedule.is_active(time)
+
+        first = DoSJammingAttack(AttackWindow(112.0, 130.0))
+        second = DoSJammingAttack(AttackWindow(220.0, 260.0))
+        schedule = AttackSchedule([first, second])
+        scenario = fig2_scenario("dos").with_overrides(
+            name="double-attack", attack=Composite(schedule, first)
+        )
+        result = run_single(scenario, defended=True)
+        assert result.detection_times == [112.0, 222.0]
+        assert not result.collided

@@ -1,0 +1,164 @@
+"""Lateral dynamics extension (repro.vehicle.lateral)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.vehicle.lateral import (
+    ArcLane,
+    BicycleKinematics,
+    LaneKeepingController,
+    LateralSimulation,
+    LateralState,
+    SinusoidalLane,
+    StraightLane,
+)
+
+
+class TestBicycleKinematics:
+    def test_straight_line_motion(self):
+        model = BicycleKinematics()
+        state = LateralState(x=0.0, y=0.0, heading=0.0, speed=20.0)
+        state = model.step(state, steering=0.0, acceleration=0.0, dt=1.0)
+        assert state.x == pytest.approx(20.0)
+        assert state.y == pytest.approx(0.0)
+        assert state.heading == pytest.approx(0.0)
+
+    def test_turning_curvature(self):
+        # Steady steering δ gives yaw rate v tan(δ)/L.
+        model = BicycleKinematics(wheelbase=2.8)
+        state = LateralState(x=0.0, y=0.0, heading=0.0, speed=10.0)
+        delta = 0.1
+        state2 = model.step(state, steering=delta, acceleration=0.0, dt=0.1)
+        expected_rate = 10.0 * math.tan(delta) / 2.8
+        assert state2.heading == pytest.approx(expected_rate * 0.1, rel=1e-6)
+
+    def test_left_steer_moves_left(self):
+        model = BicycleKinematics()
+        state = LateralState(x=0.0, y=0.0, heading=0.0, speed=15.0)
+        for _ in range(20):
+            state = model.step(state, steering=0.05, acceleration=0.0, dt=0.1)
+        assert state.y > 0.0
+
+    def test_steering_saturation(self):
+        model = BicycleKinematics(max_steering=0.3)
+        assert model.clamp_steering(1.0) == 0.3
+        assert model.clamp_steering(-1.0) == -0.3
+
+    def test_speed_never_negative(self):
+        model = BicycleKinematics()
+        state = LateralState(x=0.0, y=0.0, heading=0.0, speed=1.0)
+        state = model.step(state, 0.0, acceleration=-5.0, dt=1.0)
+        assert state.speed == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BicycleKinematics(wheelbase=0.0)
+        with pytest.raises(ConfigurationError):
+            BicycleKinematics(max_steering=2.0)
+        with pytest.raises(ValueError):
+            BicycleKinematics().step(
+                LateralState(0, 0, 0, 10.0), 0.0, 0.0, dt=0.0
+            )
+        with pytest.raises(ValueError):
+            LateralState(0, 0, 0, speed=-1.0)
+
+
+class TestLanePaths:
+    def test_straight(self):
+        lane = StraightLane(y0=1.0)
+        assert lane.lateral_reference(100.0) == 1.0
+        assert lane.heading_reference(100.0) == 0.0
+
+    def test_arc(self):
+        lane = ArcLane(curvature=1e-3)
+        assert lane.lateral_reference(100.0) == pytest.approx(5.0)
+        assert lane.heading_reference(100.0) == pytest.approx(math.atan(0.1))
+
+    def test_arc_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArcLane(curvature=0.5)
+
+    def test_sinusoidal(self):
+        lane = SinusoidalLane(amplitude=2.0, wavelength=400.0)
+        assert lane.lateral_reference(0.0) == pytest.approx(0.0)
+        assert lane.lateral_reference(100.0) == pytest.approx(2.0)
+        assert lane.heading_reference(0.0) > 0.0
+
+    def test_offset_of(self):
+        lane = StraightLane()
+        state = LateralState(x=10.0, y=-0.7, heading=0.0, speed=20.0)
+        assert lane.offset_of(state) == pytest.approx(-0.7)
+
+
+class TestLaneKeeping:
+    def test_converges_from_initial_offset(self):
+        sim = LateralSimulation(StraightLane())
+        result = sim.run(
+            LateralState(x=0.0, y=1.5, heading=0.0, speed=25.0), duration=60.0
+        )
+        assert abs(result.offsets[-1]) < 0.05
+        # No severe overshoot.
+        assert result.max_offset() < 2.0
+
+    def test_tracks_arc(self):
+        sim = LateralSimulation(ArcLane(curvature=1e-3))
+        result = sim.run(
+            LateralState(x=0.0, y=0.0, heading=0.0, speed=25.0), duration=40.0
+        )
+        assert result.max_offset(after=15.0) < 0.5
+
+    def test_tracks_slalom(self):
+        sim = LateralSimulation(SinusoidalLane(amplitude=1.5, wavelength=500.0))
+        result = sim.run(
+            LateralState(x=0.0, y=0.0, heading=0.0, speed=25.0), duration=60.0
+        )
+        assert result.max_offset(after=20.0) < 0.6
+
+    def test_rejects_heading_disturbance(self):
+        # Constant crosswind-style yaw bias: the PD holds a bounded offset.
+        sim = LateralSimulation(
+            StraightLane(), heading_disturbance=lambda t: 0.005
+        )
+        result = sim.run(
+            LateralState(x=0.0, y=0.0, heading=0.0, speed=25.0), duration=80.0
+        )
+        assert result.max_offset(after=30.0) < 1.5
+
+    def test_steering_stays_saturated_bounded(self):
+        controller = LaneKeepingController(model=BicycleKinematics(max_steering=0.3))
+        sim = LateralSimulation(StraightLane(), controller=controller)
+        result = sim.run(
+            LateralState(x=0.0, y=5.0, heading=0.5, speed=30.0), duration=30.0
+        )
+        assert max(abs(s) for s in result.steering) <= 0.3 + 1e-12
+
+    def test_decelerating_profile(self):
+        sim = LateralSimulation(
+            StraightLane(), speed_profile=lambda t: -0.1082
+        )
+        result = sim.run(
+            LateralState(x=0.0, y=0.5, heading=0.0, speed=29.0), duration=60.0
+        )
+        assert result.states[-1].speed < 29.0
+        assert abs(result.offsets[-1]) < 0.2
+
+    def test_offset_series(self):
+        sim = LateralSimulation(StraightLane())
+        result = sim.run(
+            LateralState(x=0.0, y=0.2, heading=0.0, speed=20.0), duration=5.0
+        )
+        series = result.offset_series()
+        assert len(series) == len(result.times)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LaneKeepingController(lateral_gain=0.0)
+        with pytest.raises(ConfigurationError):
+            LateralSimulation(StraightLane(), dt=0.0)
+        with pytest.raises(ValueError):
+            LateralSimulation(StraightLane()).run(
+                LateralState(0, 0, 0, 10.0), duration=0.0
+            )

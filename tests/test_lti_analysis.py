@@ -1,0 +1,123 @@
+"""Observability/controllability and discretization (repro.lti)."""
+
+import numpy as np
+import pytest
+
+from repro.lti import (
+    controllability_matrix,
+    double_integrator_discrete,
+    first_order_lag_discrete,
+    is_controllable,
+    is_observable,
+    observability_matrix,
+    zoh_discretize,
+)
+from repro.lti.observability import unobservable_subspace_dimension
+
+
+class TestObservability:
+    def test_double_integrator_position_output_is_observable(self):
+        A = [[1.0, 1.0], [0.0, 1.0]]
+        assert is_observable(A, [[1.0, 0.0]])
+
+    def test_velocity_only_output_is_not_observable(self):
+        # Position cannot be reconstructed from velocity alone.
+        A = [[1.0, 1.0], [0.0, 1.0]]
+        assert not is_observable(A, [[0.0, 1.0]])
+        assert unobservable_subspace_dimension(A, [[0.0, 1.0]]) == 1
+
+    def test_matrix_shape(self):
+        A = np.eye(3)
+        C = np.ones((2, 3))
+        assert observability_matrix(A, C).shape == (6, 3)
+
+    def test_car_following_plant_observable_from_radar(self):
+        # State [gap, relative velocity], radar measures both: trivially
+        # observable — the structural condition the recovery relies on.
+        A = [[1.0, 1.0], [0.0, 1.0]]
+        C = [[1.0, 0.0], [0.0, 1.0]]
+        assert is_observable(A, C)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            observability_matrix([[1.0, 0.0]], [[1.0]])
+        with pytest.raises(ValueError):
+            observability_matrix(np.eye(2), [[1.0]])
+
+
+class TestControllability:
+    def test_double_integrator_controllable(self):
+        A = [[1.0, 1.0], [0.0, 1.0]]
+        B = [[0.5], [1.0]]
+        assert is_controllable(A, B)
+
+    def test_decoupled_state_not_controllable(self):
+        A = [[1.0, 0.0], [0.0, 0.5]]
+        B = [[1.0], [0.0]]
+        assert not is_controllable(A, B)
+
+    def test_matrix_shape(self):
+        assert controllability_matrix(np.eye(3), np.ones((3, 2))).shape == (3, 6)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            controllability_matrix([[1.0, 0.0]], [[1.0]])
+        with pytest.raises(ValueError):
+            controllability_matrix(np.eye(2), [[1.0]])
+
+
+class TestZOHDiscretize:
+    def test_integrator(self):
+        # x' = u over dt: A_d = 1, B_d = dt.
+        A_d, B_d = zoh_discretize([[0.0]], [[1.0]], dt=0.5)
+        assert A_d[0, 0] == pytest.approx(1.0)
+        assert B_d[0, 0] == pytest.approx(0.5)
+
+    def test_double_integrator_matches_closed_form(self):
+        A_c = [[0.0, 1.0], [0.0, 0.0]]
+        B_c = [[0.0], [1.0]]
+        A_d, B_d = zoh_discretize(A_c, B_c, dt=2.0)
+        A_expected, B_expected = double_integrator_discrete(2.0)
+        assert np.allclose(A_d, A_expected)
+        assert np.allclose(B_d, B_expected)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            zoh_discretize([[0.0]], [[1.0]], dt=0.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            zoh_discretize([[0.0, 1.0]], [[1.0]], dt=1.0)
+        with pytest.raises(ValueError):
+            zoh_discretize([[0.0]], [[1.0], [1.0]], dt=1.0)
+
+
+class TestFirstOrderLag:
+    def test_paper_eqn14_coefficients(self):
+        # K_L = 1.0, T_L = 1.008 (paper §6.1), dt = 1 s.
+        alpha, beta = first_order_lag_discrete(1.0, 1.008, 1.0)
+        assert alpha == pytest.approx(np.exp(-1.0 / 1.008))
+        assert beta == pytest.approx(1.0 - alpha)
+
+    def test_dc_gain_preserved(self):
+        gain = 1.7
+        alpha, beta = first_order_lag_discrete(gain, 0.8, 0.1)
+        # Steady state of a[k+1] = alpha a[k] + beta u is a = gain * u.
+        assert beta / (1.0 - alpha) == pytest.approx(gain)
+
+    def test_converges_to_command(self):
+        alpha, beta = first_order_lag_discrete(1.0, 1.008, 1.0)
+        a = 0.0
+        for _ in range(60):
+            a = alpha * a + beta * (-2.0)
+        assert a == pytest.approx(-2.0, abs=1e-6)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            first_order_lag_discrete(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            first_order_lag_discrete(1.0, 1.0, -1.0)
+
+    def test_double_integrator_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            double_integrator_discrete(0.0)

@@ -1,0 +1,150 @@
+"""LTI plant model (repro.lti.system) — paper §3 Eqns 1-4."""
+
+import numpy as np
+import pytest
+
+from repro.lti import LTISystem, GaussianNoise, NoNoise, simulate_lti
+
+
+def double_integrator(dt: float = 1.0) -> LTISystem:
+    return LTISystem(
+        A=[[1.0, dt], [0.0, 1.0]],
+        B=[[0.5 * dt * dt], [dt]],
+        C=[[1.0, 0.0]],
+    )
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        sys = double_integrator()
+        assert (sys.n, sys.m, sys.p) == (2, 1, 1)
+
+    def test_rejects_nonsquare_A(self):
+        with pytest.raises(ValueError):
+            LTISystem(A=[[1.0, 0.0]], B=[[1.0]], C=[[1.0]])
+
+    def test_rejects_mismatched_B(self):
+        with pytest.raises(ValueError):
+            LTISystem(A=[[1.0, 0.0], [0.0, 1.0]], B=[[1.0]], C=[[1.0, 0.0]])
+
+    def test_rejects_mismatched_C(self):
+        with pytest.raises(ValueError):
+            LTISystem(A=[[1.0]], B=[[1.0]], C=[[1.0, 0.0]])
+
+    def test_rejects_mismatched_noise_dimension(self):
+        with pytest.raises(ValueError):
+            LTISystem(A=[[1.0]], B=[[1.0]], C=[[1.0]], noise=NoNoise(dimension=3))
+
+
+class TestDynamics:
+    def test_step(self):
+        sys = double_integrator()
+        x1 = sys.step([0.0, 1.0], [0.0])
+        assert np.allclose(x1, [1.0, 1.0])
+
+    def test_step_with_input(self):
+        sys = double_integrator()
+        x1 = sys.step([0.0, 0.0], [2.0])
+        assert np.allclose(x1, [1.0, 2.0])
+
+    def test_output_noiseless(self):
+        sys = double_integrator()
+        assert np.allclose(sys.output([3.0, 9.0], noisy=False), [3.0])
+
+    def test_output_noise_is_zero_mean(self):
+        sys = LTISystem(
+            A=[[1.0]], B=[[1.0]], C=[[1.0]], noise=GaussianNoise(0.04, seed=1)
+        )
+        samples = np.array([sys.output([5.0])[0] for _ in range(4000)])
+        assert samples.mean() == pytest.approx(5.0, abs=0.02)
+        assert samples.std() == pytest.approx(0.2, abs=0.02)
+
+    def test_stability_classification(self):
+        stable = LTISystem(A=[[0.5]], B=[[1.0]], C=[[1.0]])
+        unstable = LTISystem(A=[[1.5]], B=[[1.0]], C=[[1.0]])
+        marginal = double_integrator()
+        assert stable.is_stable()
+        assert not unstable.is_stable()
+        assert not marginal.is_stable()
+
+    def test_dc_gain(self):
+        sys = LTISystem(A=[[0.5]], B=[[1.0]], C=[[2.0]])
+        # Steady state of x = 0.5x + u is x = 2u, output 4u.
+        assert np.allclose(sys.dc_gain(), [[4.0]])
+
+
+class TestSimulateLTI:
+    def test_shapes(self):
+        sys = double_integrator()
+        states, outputs = simulate_lti(sys, [0.0, 0.0], [[1.0]] * 10)
+        assert states.shape == (11, 2)
+        assert outputs.shape == (10, 1)
+
+    def test_constant_acceleration_trajectory(self):
+        sys = double_integrator()
+        states, _ = simulate_lti(sys, [0.0, 0.0], [[1.0]] * 5)
+        # After 5 steps of unit acceleration: v = 5, x = 12.5.
+        assert states[-1, 1] == pytest.approx(5.0)
+        assert states[-1, 0] == pytest.approx(12.5)
+
+    def test_output_corruption_hook_models_attack(self):
+        # Eqn 4: y' = Cx + y_a + v; a DoS-style override r after k = 3.
+        sys = double_integrator()
+        r = 999.0
+
+        def corruption(k, y):
+            return np.full_like(y, r) if k >= 3 else y
+
+        _, outputs = simulate_lti(sys, [0.0, 1.0], [[0.0]] * 6, corruption=corruption)
+        assert np.allclose(outputs[:3, 0], [0.0, 1.0, 2.0])
+        assert np.all(outputs[3:, 0] == r)
+
+    def test_rejects_wrong_input_width(self):
+        sys = double_integrator()
+        with pytest.raises(ValueError):
+            simulate_lti(sys, [0.0, 0.0], [[1.0, 2.0]])
+
+
+class TestGaussianNoise:
+    def test_scalar_variance(self):
+        noise = GaussianNoise(1.0, seed=0)
+        assert noise.dimension == 1
+        assert np.allclose(noise.covariance, [[1.0]])
+
+    def test_diagonal(self):
+        noise = GaussianNoise(np.array([1.0, 4.0]), seed=0)
+        assert noise.dimension == 2
+        assert np.allclose(noise.covariance, np.diag([1.0, 4.0]))
+
+    def test_full_covariance_sampling(self):
+        cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+        noise = GaussianNoise(cov, seed=7)
+        samples = np.array([noise.sample() for _ in range(20000)])
+        assert np.allclose(np.cov(samples.T), cov, atol=0.1)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(np.array([-1.0]))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_singular_covariance_is_allowed(self):
+        noise = GaussianNoise(np.zeros((2, 2)), seed=0)
+        assert np.allclose(noise.sample(), [0.0, 0.0])
+
+
+class TestNoNoise:
+    def test_always_zero(self):
+        noise = NoNoise(dimension=2)
+        assert np.allclose(noise.sample(), [0.0, 0.0])
+        assert np.allclose(noise.covariance, np.zeros((2, 2)))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            NoNoise(dimension=0)

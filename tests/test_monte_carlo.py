@@ -1,0 +1,55 @@
+"""Monte-Carlo evaluation harness (repro.simulation.monte_carlo)."""
+
+import pytest
+
+from repro import fig2_scenario
+from repro.simulation import MonteCarloSummary, run_monte_carlo
+
+
+@pytest.fixture(scope="module")
+def defended_summary():
+    return run_monte_carlo(fig2_scenario("dos"), seeds=range(4), defended=True)
+
+
+class TestRunMonteCarlo:
+    def test_one_outcome_per_seed(self, defended_summary):
+        assert defended_summary.n_runs == 4
+        assert [o.seed for o in defended_summary.outcomes] == [0, 1, 2, 3]
+
+    def test_defended_runs_all_safe(self, defended_summary):
+        assert defended_summary.collision_count == 0
+        assert defended_summary.worst_min_gap > 0.0
+        assert defended_summary.detection_rate == 1.0
+
+    def test_detection_always_at_182(self, defended_summary):
+        assert defended_summary.detection_times == [182.0] * 4
+        for outcome in defended_summary.outcomes:
+            assert outcome.detection_latency == 0.0
+
+    def test_undefended_runs_all_collide(self):
+        summary = run_monte_carlo(
+            fig2_scenario("dos"), seeds=range(3), defended=False
+        )
+        assert summary.collision_count == 3
+        assert summary.detection_rate == 0.0  # no detector without defense
+
+    def test_attack_free_runs(self):
+        summary = run_monte_carlo(
+            fig2_scenario("dos"), seeds=range(2), attack_enabled=False
+        )
+        assert summary.collision_count == 0
+        assert summary.detection_rate == 0.0
+
+    def test_mean_and_worst_consistency(self, defended_summary):
+        assert defended_summary.worst_min_gap <= defended_summary.mean_min_gap
+
+    def test_as_row(self, defended_summary):
+        row = defended_summary.as_row("defended fig2a")
+        assert row["configuration"] == "defended fig2a"
+        assert row["runs"] == 4
+        assert row["collisions"] == 0
+        assert row["detection_time_s"] == 182.0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_monte_carlo(fig2_scenario("dos"), seeds=[])

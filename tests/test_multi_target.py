@@ -1,0 +1,110 @@
+"""Multi-target resolution (repro.radar.receiver.process_multi)."""
+
+import numpy as np
+import pytest
+
+from repro.radar import FMCWParameters, RadarReceiver, beat_frequencies
+from repro.radar.receiver import MultiTargetResolver, TargetDetection
+from repro.radar.signal_synth import complex_awgn, synthesize_beat_signal
+
+PARAMS = FMCWParameters()
+
+
+def synth_scene(targets, seed=0, noise_power=1e-4):
+    """Complex up/down segments for a list of ``(d, v)`` targets."""
+    rng = np.random.default_rng(seed)
+    n, fs = PARAMS.samples_per_segment, PARAMS.sample_rate
+    up = np.zeros(n, dtype=complex)
+    down = np.zeros(n, dtype=complex)
+    for distance, velocity in targets:
+        f_up, f_down = beat_frequencies(PARAMS, distance, velocity)
+        up = up + synthesize_beat_signal(f_up, 1.0, n, fs, rng=rng)
+        down = down + synthesize_beat_signal(f_down, 1.0, n, fs, rng=rng)
+    up = up + complex_awgn(n, noise_power, rng)
+    down = down + complex_awgn(n, noise_power, rng)
+    return up, down
+
+
+def make_receiver():
+    return RadarReceiver(PARAMS, detection_threshold_factor=1.0 + 1e-9)
+
+
+class TestMultiTargetResolver:
+    def test_correct_pairing_beats_ghosts(self):
+        # Two targets; the wrong pairing would invert to wild velocities.
+        f1 = beat_frequencies(PARAMS, 40.0, -2.0)
+        f2 = beat_frequencies(PARAMS, 90.0, 1.0)
+        resolver = MultiTargetResolver(PARAMS)
+        targets = resolver.pair([f1[0], f2[0]], [f1[1], f2[1]])
+        assert targets[0].distance == pytest.approx(40.0, abs=0.1)
+        assert targets[1].distance == pytest.approx(90.0, abs=0.1)
+        assert targets[0].relative_velocity == pytest.approx(-2.0, abs=0.1)
+
+    def test_shuffled_inputs_same_result(self):
+        f1 = beat_frequencies(PARAMS, 40.0, -2.0)
+        f2 = beat_frequencies(PARAMS, 90.0, 1.0)
+        resolver = MultiTargetResolver(PARAMS)
+        targets = resolver.pair([f2[0], f1[0]], [f1[1], f2[1]])
+        assert targets[0].distance == pytest.approx(40.0, abs=0.1)
+        assert targets[1].distance == pytest.approx(90.0, abs=0.1)
+
+    def test_empty_input(self):
+        assert MultiTargetResolver(PARAMS).pair([], []) == []
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTargetResolver(PARAMS).pair([1.0], [1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiTargetResolver(PARAMS, max_speed=0.0)
+
+
+class TestProcessMulti:
+    def test_two_targets_resolved(self):
+        up, down = synth_scene([(40.0, -2.0), (90.0, 1.0)])
+        targets = make_receiver().process_multi(up, down, 2)
+        assert len(targets) == 2
+        assert targets[0].distance == pytest.approx(40.0, abs=0.5)
+        assert targets[1].distance == pytest.approx(90.0, abs=0.5)
+        assert targets[0].relative_velocity == pytest.approx(-2.0, abs=0.3)
+        assert targets[1].relative_velocity == pytest.approx(1.0, abs=0.3)
+
+    def test_three_targets_resolved(self):
+        scene = [(30.0, -3.0), (80.0, 0.0), (140.0, 5.0)]
+        up, down = synth_scene(scene, seed=3)
+        targets = make_receiver().process_multi(up, down, 3)
+        for detected, (distance, velocity) in zip(targets, scene):
+            assert detected.distance == pytest.approx(distance, abs=1.0)
+            assert detected.relative_velocity == pytest.approx(velocity, abs=0.5)
+
+    def test_single_target_consistent_with_process(self):
+        up, down = synth_scene([(60.0, -1.5)], seed=5)
+        receiver = make_receiver()
+        single = receiver.process(up, down)
+        multi = receiver.process_multi(up, down, 1)
+        assert len(multi) == 1
+        assert multi[0].distance == pytest.approx(single.distance, abs=0.2)
+
+    def test_silence_returns_empty(self):
+        rng = np.random.default_rng(0)
+        n = PARAMS.samples_per_segment
+        receiver = RadarReceiver(PARAMS)  # default 4x threshold
+        up = complex_awgn(n, PARAMS.noise_floor, rng)
+        down = complex_awgn(n, PARAMS.noise_floor, rng)
+        assert receiver.process_multi(up, down, 2) == []
+
+    def test_validation(self):
+        up, down = synth_scene([(60.0, 0.0)])
+        with pytest.raises(ValueError):
+            make_receiver().process_multi(up, down, 0)
+
+    def test_phantom_plus_real_target_scene(self):
+        """A phantom injected alongside the real echo shows up as a
+        second resolved target — the scene a tracker-level defense would
+        have to disambiguate."""
+        up, down = synth_scene([(35.0, -1.0), (10.0, -5.0)], seed=7)
+        targets = make_receiver().process_multi(up, down, 2)
+        distances = sorted(t.distance for t in targets)
+        assert distances[0] == pytest.approx(10.0, abs=0.5)
+        assert distances[1] == pytest.approx(35.0, abs=0.5)

@@ -1,0 +1,95 @@
+"""Phantom-target injection attack (repro.attacks.phantom)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AttackWindow,
+    FMCWRadarSensor,
+    PhantomTargetAttack,
+    fig2_scenario,
+    run_single,
+)
+from repro.types import AttackLabel
+
+
+def make_attack(**kwargs):
+    defaults = dict(phantom_distance=10.0, phantom_velocity=-5.0)
+    defaults.update(kwargs)
+    return PhantomTargetAttack(AttackWindow(182.0, 300.0), **defaults)
+
+
+class TestPhantomEffect:
+    def test_label_is_spoofing_family(self):
+        assert make_attack().label is AttackLabel.DELAY
+
+    def test_absolute_placement(self):
+        attack = make_attack(phantom_distance=12.0, phantom_velocity=-3.0)
+        effect = attack.effect_at(200.0, 80.0, -1.0)
+        assert effect.spoof_distance_offset == pytest.approx(12.0 - 80.0)
+        assert effect.spoof_velocity_offset == pytest.approx(-3.0 - (-1.0))
+        assert effect.replace_echo
+
+    def test_sensor_reports_the_phantom(self):
+        sensor = FMCWRadarSensor(fidelity="equation", seed=0)
+        attack = make_attack(phantom_distance=15.0, phantom_velocity=-4.0)
+        m = sensor.measure(
+            200.0, 80.0, -1.0, effect=attack.effect_at(200.0, 80.0, -1.0)
+        )
+        assert m.distance == pytest.approx(15.0, abs=1.0)
+        assert m.relative_velocity == pytest.approx(-4.0, abs=0.5)
+
+    def test_signal_mode_reports_the_phantom(self):
+        sensor = FMCWRadarSensor(fidelity="signal", seed=0)
+        attack = make_attack(phantom_distance=15.0, phantom_velocity=-4.0)
+        m = sensor.measure(
+            200.0, 80.0, -1.0, effect=attack.effect_at(200.0, 80.0, -1.0)
+        )
+        assert m.distance == pytest.approx(15.0, abs=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_attack(phantom_distance=0.0)
+        with pytest.raises(ValueError):
+            PhantomTargetAttack(
+                AttackWindow(0.0), counterfeit_power_gain=0.9
+            )
+
+
+class TestPhantomClosedLoop:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return fig2_scenario("dos").with_overrides(
+            name="phantom", attack=make_attack()
+        )
+
+    def test_undefended_phantom_braking(self, scenario):
+        """The availability attack: the follower slams the brakes for a
+        ghost 10 m ahead and ends up far behind the baseline."""
+        attacked = run_single(scenario, defended=False)
+        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        times = attacked.times
+        window = (times >= 182.0) & (times <= 200.0)
+        # Hard braking right after onset...
+        assert np.min(attacked.array("desired_acceleration")[window]) <= -3.0
+        # ...and the true gap balloons far beyond the baseline's.
+        assert attacked.array("true_distance")[-1] > (
+            baseline.array("true_distance")[-1] + 30.0
+        )
+
+    def test_detected_at_first_challenge(self, scenario):
+        defended = run_single(scenario, defended=True)
+        assert defended.detection_times == [182.0]
+
+    def test_defense_restores_availability(self, scenario):
+        defended = run_single(scenario, defended=True)
+        attacked = run_single(scenario, defended=False)
+        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        final_defended = defended.array("true_distance")[-1]
+        final_attacked = attacked.array("true_distance")[-1]
+        final_baseline = baseline.array("true_distance")[-1]
+        # Defended gap stays near the baseline, not near the ghost-braking run.
+        assert abs(final_defended - final_baseline) < abs(
+            final_attacked - final_baseline
+        )
+        assert not defended.collided

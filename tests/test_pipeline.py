@@ -1,0 +1,189 @@
+"""Algorithm 2 pipeline (repro.core.pipeline)."""
+
+import pytest
+
+from repro.core import (
+    ChallengeSchedule,
+    ChannelPredictor,
+    CRADetector,
+    DeadReckoningEstimator,
+    RadarChannelEstimator,
+    SafeMeasurementPipeline,
+)
+from repro.types import RadarMeasurement, SensorStatus
+
+
+SCHEDULE = ChallengeSchedule.from_times([15.0, 50.0, 175.0, 182.0, 195.0, 209.0])
+
+
+def make_pipeline(estimator=None, rollback=True):
+    return SafeMeasurementPipeline(
+        detector=CRADetector(SCHEDULE),
+        estimator=estimator,
+        rollback_on_detection=rollback,
+    )
+
+
+def sensor_stream(horizon=300, attack_start=None, spoof=6.0):
+    """Clean linear scene with an optional distance spoof."""
+    for k in range(horizon):
+        time = float(k)
+        true_d = 100.0 - 0.2 * k
+        true_dv = -0.2
+        if SCHEDULE.is_challenge(time):
+            if attack_start is not None and time >= attack_start:
+                yield RadarMeasurement(
+                    time=time,
+                    distance=true_d + spoof,
+                    relative_velocity=true_dv,
+                    status=SensorStatus.CHALLENGE,
+                )
+            else:
+                yield RadarMeasurement(
+                    time=time,
+                    distance=0.0,
+                    relative_velocity=0.0,
+                    status=SensorStatus.CHALLENGE,
+                )
+        elif attack_start is not None and time >= attack_start:
+            yield RadarMeasurement(
+                time=time, distance=true_d + spoof, relative_velocity=true_dv
+            )
+        else:
+            yield RadarMeasurement(time=time, distance=true_d, relative_velocity=true_dv)
+
+
+class TestCleanOperation:
+    def test_passthrough_of_trusted_samples(self):
+        pipeline = make_pipeline()
+        out = pipeline.process(
+            RadarMeasurement(time=0.0, distance=100.0, relative_velocity=-1.0)
+        )
+        assert not out.estimated
+        assert out.distance == 100.0
+        assert not out.attack_active
+
+    def test_challenge_bridged_by_estimate(self):
+        pipeline = make_pipeline()
+        for m in sensor_stream(horizon=50):
+            out = pipeline.process(m)
+        # At the k = 15 challenge the controller never saw a zero.
+        bridged = [o for o in pipeline.outputs if o.time == 15.0][0]
+        assert bridged.estimated
+        assert bridged.distance == pytest.approx(100.0 - 0.2 * 15.0, abs=1.0)
+
+    def test_no_alarm_without_attack(self):
+        pipeline = make_pipeline()
+        for m in sensor_stream(horizon=300):
+            pipeline.process(m)
+        assert not pipeline.attack_active
+        assert all(not e.attack_detected for e in pipeline.detection_events)
+
+    def test_bookkeeping_lists(self):
+        pipeline = make_pipeline()
+        for m in sensor_stream(horizon=60):
+            pipeline.process(m)
+        assert len(pipeline.raw_measurements) == 60
+        assert len(pipeline.outputs) == 60
+        estimated = pipeline.estimated_outputs
+        assert {o.time for o in estimated} == {15.0, 50.0}
+
+
+class TestAttackHandling:
+    def test_detection_and_substitution(self):
+        pipeline = make_pipeline()
+        for m in sensor_stream(horizon=300, attack_start=180.0):
+            pipeline.process(m)
+        assert pipeline.detector.first_detection_time == 182.0
+        # Every output from detection on is estimated.
+        late = [o for o in pipeline.outputs if o.time >= 182.0]
+        assert all(o.estimated for o in late)
+        assert all(o.attack_active for o in late)
+
+    def test_estimates_ignore_spoofed_values(self):
+        pipeline = make_pipeline()
+        for m in sensor_stream(horizon=300, attack_start=180.0):
+            pipeline.process(m)
+        at_250 = [o for o in pipeline.outputs if o.time == 250.0][0]
+        truth = 100.0 - 0.2 * 250.0
+        spoofed = truth + 6.0
+        assert abs(at_250.distance - truth) < abs(at_250.distance - spoofed)
+
+    def test_rollback_removes_pre_detection_pollution(self):
+        # Attack starts at 180; samples 180-181 are corrupted and
+        # ingested; rollback discards them at the 182 detection.
+        with_rollback = make_pipeline(rollback=True)
+        without = make_pipeline(rollback=False)
+        for m in sensor_stream(horizon=300, attack_start=180.0, spoof=30.0):
+            with_rollback.process(m)
+        for m in sensor_stream(horizon=300, attack_start=180.0, spoof=30.0):
+            without.process(m)
+        truth = 100.0 - 0.2 * 185.0
+        est_rb = [o for o in with_rollback.outputs if o.time == 185.0][0].distance
+        est_no = [o for o in without.outputs if o.time == 185.0][0].distance
+        assert abs(est_rb - truth) < abs(est_no - truth)
+
+    def test_recovery_after_attack_ends(self):
+        pipeline = make_pipeline()
+        for k in range(300):
+            time = float(k)
+            attacked = 180.0 <= time < 200.0
+            is_challenge = SCHEDULE.is_challenge(time)
+            true_d = 100.0 - 0.2 * k
+            if is_challenge and not attacked:
+                m = RadarMeasurement(
+                    time=time, distance=0.0, relative_velocity=0.0,
+                    status=SensorStatus.CHALLENGE,
+                )
+            elif attacked:
+                m = RadarMeasurement(
+                    time=time, distance=true_d + 6.0, relative_velocity=-0.2
+                )
+            else:
+                m = RadarMeasurement(time=time, distance=true_d, relative_velocity=-0.2)
+            pipeline.process(m)
+        # The 209 clean challenge clears the alarm; later samples pass through.
+        assert not pipeline.attack_active
+        late = [o for o in pipeline.outputs if o.time == 250.0][0]
+        assert not late.estimated
+        assert late.distance == pytest.approx(100.0 - 0.2 * 250.0)
+
+
+class TestEstimatorFallbacks:
+    def test_untrained_estimator_holds_last_trusted(self):
+        schedule = ChallengeSchedule.from_times([2.0])
+        pipeline = SafeMeasurementPipeline(detector=CRADetector(schedule))
+        pipeline.process(RadarMeasurement(time=0.0, distance=80.0, relative_velocity=-1.0))
+        pipeline.process(RadarMeasurement(time=1.0, distance=79.0, relative_velocity=-1.0))
+        out = pipeline.process(
+            RadarMeasurement(
+                time=2.0, distance=0.0, relative_velocity=0.0,
+                status=SensorStatus.CHALLENGE,
+            )
+        )
+        assert out.estimated
+        assert out.distance == 79.0
+
+    def test_nothing_trusted_yet_returns_zero(self):
+        schedule = ChallengeSchedule.from_times([0.0])
+        pipeline = SafeMeasurementPipeline(detector=CRADetector(schedule))
+        out = pipeline.process(
+            RadarMeasurement(
+                time=0.0, distance=0.0, relative_velocity=0.0,
+                status=SensorStatus.CHALLENGE,
+            )
+        )
+        assert out.distance == 0.0
+
+    def test_dead_reckoning_estimator_integration(self):
+        pipeline = make_pipeline(
+            estimator=DeadReckoningEstimator(
+                leader_velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e8)
+            )
+        )
+        vF = 20.0
+        for m in sensor_stream(horizon=300, attack_start=180.0):
+            pipeline.process(m, follower_speed=vF)
+        at_250 = [o for o in pipeline.outputs if o.time == 250.0][0]
+        assert at_250.estimated
+        assert at_250.distance == pytest.approx(100.0 - 0.2 * 250.0, abs=2.0)

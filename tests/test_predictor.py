@@ -1,0 +1,140 @@
+"""Channel forecasting (repro.core.predictor)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ARBasis, ChannelPredictor, PolynomialBasis, RadarChannelEstimator
+from repro.exceptions import EstimatorNotTrainedError
+from repro.types import RadarMeasurement
+
+
+def feed_linear(predictor, slope=-0.3, intercept=50.0, n=60, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    for k in range(n):
+        value = intercept + slope * k + (rng.normal(0.0, noise) if noise else 0.0)
+        predictor.observe(float(k), value)
+
+
+class TestChannelPredictorPolynomial:
+    def test_untrained_raises(self):
+        predictor = ChannelPredictor()
+        with pytest.raises(EstimatorNotTrainedError):
+            predictor.forecast(10.0)
+
+    def test_trained_after_min_samples(self):
+        predictor = ChannelPredictor(min_training_samples=3)
+        for k in range(3):
+            predictor.observe(float(k), 1.0)
+        assert predictor.trained
+
+    def test_linear_trend_extrapolation(self):
+        predictor = ChannelPredictor(forgetting=1.0, delta=1e6)
+        feed_linear(predictor, slope=-0.3, intercept=50.0, n=60)
+        assert predictor.forecast(100.0) == pytest.approx(50.0 - 0.3 * 100.0, abs=0.01)
+
+    def test_noisy_linear_trend(self):
+        predictor = ChannelPredictor(forgetting=0.98)
+        feed_linear(predictor, slope=-0.1082, intercept=29.06, n=180, noise=0.1)
+        truth = 29.06 - 0.1082 * 220.0
+        assert predictor.forecast(220.0) == pytest.approx(truth, abs=0.5)
+
+    def test_constant_channel(self):
+        predictor = ChannelPredictor(basis=PolynomialBasis(0), forgetting=1.0, delta=1e8)
+        feed_linear(predictor, slope=0.0, intercept=7.0, n=20)
+        assert predictor.forecast(50.0) == pytest.approx(7.0, abs=1e-6)
+
+    def test_last_observation(self):
+        predictor = ChannelPredictor()
+        assert predictor.last_observation is None
+        predictor.observe(1.0, 5.0)
+        assert predictor.last_observation == (1.0, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelPredictor(time_scale=0.0)
+        with pytest.raises(ValueError):
+            ChannelPredictor(sample_period=0.0)
+        with pytest.raises(ValueError):
+            ChannelPredictor(min_training_samples=0)
+
+
+class TestChannelPredictorAR:
+    def test_ar_one_step(self):
+        # y[k] = 0.5 y[k-1] is learned exactly from noiseless data.
+        predictor = ChannelPredictor(
+            basis=ARBasis(order=1), forgetting=1.0, delta=1e8, min_training_samples=5
+        )
+        value = 64.0
+        for k in range(12):
+            predictor.observe(float(k), value)
+            value *= 0.5
+        # Next value continues the geometric decay.
+        assert predictor.forecast(12.0) == pytest.approx(value, rel=1e-6)
+
+    def test_ar_multi_step_rollout(self):
+        predictor = ChannelPredictor(
+            basis=ARBasis(order=1), forgetting=1.0, delta=1e8, min_training_samples=5
+        )
+        value = 100.0
+        for k in range(10):
+            predictor.observe(float(k), value)
+            value *= 0.9
+        # Forecast 5 steps ahead: value * 0.9^5 relative to last observed.
+        last = predictor.last_observation[1]
+        assert predictor.forecast(14.0) == pytest.approx(last * 0.9**5, rel=1e-6)
+
+    def test_rollout_cache_invalidated_by_new_data(self):
+        predictor = ChannelPredictor(
+            basis=ARBasis(order=1), forgetting=1.0, delta=1e8, min_training_samples=3
+        )
+        for k in range(6):
+            predictor.observe(float(k), 2.0 ** (6 - k))
+        _ = predictor.forecast(8.0)
+        predictor.observe(6.0, 1.0)
+        # Forecast must restart from the new real history.
+        assert predictor.forecast(7.0) == pytest.approx(0.5, rel=1e-6)
+
+
+class TestRadarChannelEstimator:
+    def make_measurement(self, k, d, dv):
+        return RadarMeasurement(time=float(k), distance=d, relative_velocity=dv)
+
+    def test_trained_requires_both_channels(self):
+        estimator = RadarChannelEstimator()
+        assert not estimator.trained
+        for k in range(10):
+            estimator.observe(self.make_measurement(k, 100.0 - k, -1.0))
+        assert estimator.trained
+
+    def test_forecast_tracks_both_channels(self):
+        estimator = RadarChannelEstimator(
+            distance_predictor=ChannelPredictor(forgetting=1.0, delta=1e6),
+            velocity_predictor=ChannelPredictor(forgetting=1.0, delta=1e6),
+        )
+        for k in range(30):
+            estimator.observe(self.make_measurement(k, 100.0 - 0.5 * k, -0.5))
+        d, dv = estimator.forecast(40.0)
+        assert d == pytest.approx(80.0, abs=0.05)
+        assert dv == pytest.approx(-0.5, abs=0.01)
+
+    def test_snapshot_restore_roundtrip(self):
+        estimator = RadarChannelEstimator()
+        for k in range(10):
+            estimator.observe(self.make_measurement(k, 100.0 - k, -1.0))
+        snap = estimator.snapshot()
+        before = estimator.forecast(20.0)
+        # Pollute with corrupted data, then roll back.
+        for k in range(10, 14):
+            estimator.observe(self.make_measurement(k, 500.0, 30.0))
+        polluted = estimator.forecast(20.0)
+        assert polluted != pytest.approx(before[0], abs=1.0)
+        estimator.restore(snap)
+        assert estimator.forecast(20.0)[0] == pytest.approx(before[0], abs=1e-9)
+
+    def test_follower_speed_is_ignored(self):
+        estimator = RadarChannelEstimator()
+        for k in range(10):
+            estimator.observe(self.make_measurement(k, 50.0, 0.0), follower_speed=20.0)
+        with_speed = estimator.forecast(15.0, follower_speed=20.0)
+        without = estimator.forecast(15.0)
+        assert with_speed == without

@@ -1,0 +1,201 @@
+"""Cross-cutting property-based tests on the core invariants.
+
+These pin down the *guarantees* the reproduction relies on, beyond the
+example-based tests:
+
+* CRA completeness/soundness: at a challenge instant, the detector
+  fires iff the receiver output is non-zero — any injected energy is
+  caught, and silence never is.
+* Algorithm 1 numerical invariants: the correlation matrix stays
+  symmetric positive-definite; the conversion factor stays >= λ.
+* Radar round trips: Eqns 5-8 invert exactly for any in-envelope scene,
+  and the full signal chain recovers the scene within tolerance.
+* Kinematics: vehicles never reverse and position is consistent with
+  the velocity profile.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import (
+    ChallengeSchedule,
+    CRADetector,
+    FMCWParameters,
+    FMCWRadarSensor,
+    RLSEstimator,
+)
+from repro.radar.sensor import AttackEffect
+from repro.types import RadarMeasurement, SensorStatus
+from repro.vehicle import VehicleState, advance_state
+
+PARAMS = FMCWParameters()
+
+
+class TestCRACompletenessAndSoundness:
+    """Line 9 of Algorithm 2 as a universally quantified property."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=500.0),
+        st.floats(min_value=-100.0, max_value=100.0),
+    )
+    def test_any_nonzero_output_at_challenge_is_detected(self, distance, velocity):
+        detector = CRADetector(ChallengeSchedule.from_times([10.0]))
+        event = detector.process(
+            RadarMeasurement(
+                time=10.0,
+                distance=distance,
+                relative_velocity=velocity,
+                status=SensorStatus.CHALLENGE,
+            )
+        )
+        assert event.attack_detected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=9.9e-7))
+    def test_sub_tolerance_output_is_never_detected(self, dust):
+        detector = CRADetector(
+            ChallengeSchedule.from_times([10.0]), zero_tolerance=1e-6
+        )
+        event = detector.process(
+            RadarMeasurement(
+                time=10.0,
+                distance=dust,
+                relative_velocity=0.0,
+                status=SensorStatus.CHALLENGE,
+            )
+        )
+        assert not event.attack_detected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=5.0, max_value=195.0),
+    )
+    def test_sensor_challenge_fires_iff_attacked(self, seed, distance):
+        """End-to-end: equation-fidelity sensor + detector at a challenge."""
+        detector = CRADetector(ChallengeSchedule.from_times([0.0]))
+        sensor = FMCWRadarSensor(fidelity="equation", seed=seed)
+        clean = sensor.measure(0.0, distance, -1.0, transmit=False)
+        assert not detector.process(clean).attack_detected
+
+        detector.reset()
+        attacked = sensor.measure(
+            0.0,
+            distance,
+            -1.0,
+            transmit=False,
+            effect=AttackEffect(spoof_distance_offset=6.0, replace_echo=True),
+        )
+        assert detector.process(attacked).attack_detected
+
+
+class TestRLSInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=0.7, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_correlation_symmetric_positive_definite(self, n, lam, seed):
+        rng = np.random.default_rng(seed)
+        rls = RLSEstimator(n_params=n, forgetting=lam)
+        for _ in range(100):
+            rls.update(rng.standard_normal(n), rng.normal())
+        P = rls.correlation
+        assert np.allclose(P, P.T, atol=1e-9)
+        eigvals = np.linalg.eigvalsh(P)
+        assert np.all(eigvals > 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_conversion_factor_at_least_lambda(self, lam, seed):
+        rng = np.random.default_rng(seed)
+        rls = RLSEstimator(n_params=3, forgetting=lam)
+        for _ in range(50):
+            step = rls.update(rng.standard_normal(3), rng.normal())
+            assert step.conversion_factor >= lam - 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_noiseless_posterior_error_shrinks(self, seed):
+        """After each update, re-predicting the same sample improves."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal(2)
+        rls = RLSEstimator(n_params=2, forgetting=1.0)
+        for _ in range(30):
+            h = rng.standard_normal(2)
+            y = float(w @ h)
+            before = abs(y - rls.predict(h))
+            rls.update(h, y)
+            after = abs(y - rls.predict(h))
+            assert after <= before + 1e-9
+
+
+class TestRadarRoundTripProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=5.0, max_value=195.0),
+        st.floats(min_value=-25.0, max_value=25.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_signal_chain_recovers_scene(self, distance, velocity, seed):
+        sensor = FMCWRadarSensor(fidelity="signal", seed=seed)
+        m = sensor.measure(0.0, distance, velocity)
+        assert m.distance == pytest.approx(distance, abs=1.0)
+        assert m.relative_velocity == pytest.approx(velocity, abs=0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=5.0, max_value=180.0),
+        st.floats(min_value=0.1, max_value=20.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_delay_attack_shifts_distance_by_offset(self, distance, offset, seed):
+        assume(distance + offset < 200.0)
+        sensor = FMCWRadarSensor(fidelity="signal", seed=seed)
+        effect = AttackEffect(spoof_distance_offset=offset, replace_echo=True)
+        m = sensor.measure(0.0, distance, 0.0, effect=effect)
+        assert m.distance == pytest.approx(distance + offset, abs=1.0)
+
+
+class TestKinematicsProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.lists(st.floats(min_value=-6.0, max_value=3.0), min_size=1, max_size=50),
+    )
+    def test_velocity_nonnegative_over_any_profile(self, v0, accelerations):
+        state = VehicleState(position=0.0, velocity=v0)
+        for a in accelerations:
+            state = advance_state(state, a, dt=1.0)
+            assert state.velocity >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.lists(st.floats(min_value=-6.0, max_value=3.0), min_size=1, max_size=50),
+    )
+    def test_position_monotonically_nondecreasing(self, v0, accelerations):
+        state = VehicleState(position=0.0, velocity=v0)
+        previous = state.position
+        for a in accelerations:
+            state = advance_state(state, a, dt=1.0)
+            assert state.position >= previous - 1e-12
+            previous = state.position
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=-3.0, max_value=3.0),
+    )
+    def test_position_increment_bounded_by_velocities(self, v0, a):
+        state = VehicleState(position=0.0, velocity=v0)
+        advanced = advance_state(state, a, dt=1.0)
+        lo = min(v0, advanced.velocity) - 1e-9
+        hi = max(v0, advanced.velocity) + 1e-9
+        assert lo <= advanced.position - state.position <= hi

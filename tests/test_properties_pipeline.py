@@ -1,0 +1,148 @@
+"""Property-based tests on the pipeline, fusion, tracker and IDM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChallengeSchedule, CRADetector, SafeMeasurementPipeline
+from repro.core.fusion import MedianFusionDefense
+from repro.radar.tracker import AlphaBetaTracker
+from repro.types import RadarMeasurement, SensorStatus
+from repro.vehicle import IntelligentDriverModel
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=5.0, max_value=200.0), min_size=30, max_size=80
+        ),
+        st.sets(st.integers(min_value=5, max_value=79), min_size=1, max_size=8),
+    )
+    def test_one_output_per_input_and_flag_consistency(self, distances, challenges):
+        """Every input yields exactly one output; a sample is estimated
+        iff it fell on a challenge instant or under an active alarm."""
+        schedule = ChallengeSchedule.from_times(float(c) for c in challenges)
+        pipeline = SafeMeasurementPipeline(CRADetector(schedule))
+        for k, distance in enumerate(distances):
+            time = float(k)
+            if schedule.is_challenge(time):
+                m = RadarMeasurement(
+                    time=time, distance=0.0, relative_velocity=0.0,
+                    status=SensorStatus.CHALLENGE,
+                )
+            else:
+                m = RadarMeasurement(
+                    time=time, distance=distance, relative_velocity=-1.0
+                )
+            out = pipeline.process(m)
+            assert out.time == time
+            expected_estimated = schedule.is_challenge(time) or out.attack_active
+            assert out.estimated == expected_estimated
+        assert len(pipeline.outputs) == len(distances)
+        assert len(pipeline.raw_measurements) == len(distances)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.integers(min_value=5, max_value=79), min_size=1, max_size=8))
+    def test_clean_stream_never_alarms(self, challenges):
+        schedule = ChallengeSchedule.from_times(float(c) for c in challenges)
+        pipeline = SafeMeasurementPipeline(CRADetector(schedule))
+        for k in range(80):
+            time = float(k)
+            if schedule.is_challenge(time):
+                m = RadarMeasurement(
+                    time=time, distance=0.0, relative_velocity=0.0,
+                    status=SensorStatus.CHALLENGE,
+                )
+            else:
+                m = RadarMeasurement(time=time, distance=50.0, relative_velocity=0.0)
+            assert not pipeline.process(m).attack_active
+
+
+class TestFusionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=300.0), min_size=3, max_size=7
+        )
+    )
+    def test_median_bounded_by_inputs(self, distances):
+        fusion = MedianFusionDefense(n_sensors=len(distances))
+        fused = fusion.fuse(
+            [
+                RadarMeasurement(time=0.0, distance=d, relative_velocity=0.0)
+                for d in distances
+            ]
+        )
+        assert min(distances) <= fused.distance <= max(distances)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=10.0, max_value=200.0),
+        st.floats(min_value=10.0, max_value=500.0),
+    )
+    def test_single_outlier_never_wins_with_three_sensors(self, honest, outlier):
+        fusion = MedianFusionDefense(n_sensors=3)
+        fused = fusion.fuse(
+            [
+                RadarMeasurement(time=0.0, distance=outlier, relative_velocity=0.0),
+                RadarMeasurement(time=0.0, distance=honest, relative_velocity=0.0),
+                RadarMeasurement(time=0.0, distance=honest, relative_velocity=0.0),
+            ]
+        )
+        assert fused.distance == pytest.approx(honest)
+
+
+class TestTrackerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=5.0, max_value=200.0), min_size=5, max_size=40
+        )
+    )
+    def test_track_output_bounded_by_measurement_envelope(self, measurements):
+        """The alpha-beta filter never extrapolates outside a widened
+        envelope of what it has seen (no runaway states)."""
+        tracker = AlphaBetaTracker(confirm_hits=1)
+        lo, hi = min(measurements), max(measurements)
+        margin = (hi - lo) + 50.0
+        for d in measurements:
+            out = tracker.update((d, 0.0))
+            assert out is not None
+            assert lo - margin <= out[0] <= hi + margin
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=5))
+    def test_coast_count_determines_track_survival(self, misses):
+        tracker = AlphaBetaTracker(confirm_hits=1, max_coast=3)
+        tracker.update((100.0, -1.0))
+        survived = True
+        for _ in range(misses):
+            survived = tracker.update(None) is not None
+        assert survived == (misses <= 3)
+
+
+class TestIDMProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=35.0),
+        st.floats(min_value=1.0, max_value=150.0),
+        st.floats(min_value=0.0, max_value=35.0),
+    )
+    def test_acceleration_bounded(self, speed, gap, lead_speed):
+        idm = IntelligentDriverModel()
+        a = idm.acceleration(speed, gap, lead_speed)
+        assert a <= idm.params.max_acceleration + 1e-9
+        assert np.isfinite(a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=1.0, max_value=35.0),
+        st.floats(min_value=5.0, max_value=150.0),
+        st.floats(min_value=0.0, max_value=35.0),
+    )
+    def test_larger_gap_never_brakes_harder(self, speed, gap, lead_speed):
+        idm = IntelligentDriverModel()
+        closer = idm.acceleration(speed, gap, lead_speed)
+        farther = idm.acceleration(speed, gap + 10.0, lead_speed)
+        assert farther >= closer - 1e-9

@@ -1,0 +1,129 @@
+"""CA-CFAR detection (repro.radar.cfar)."""
+
+import numpy as np
+import pytest
+
+from repro.radar import FMCWParameters, RadarReceiver, beat_frequencies
+from repro.radar.cfar import SpectralPresenceDetector, ca_cfar
+from repro.radar.link_budget import received_power
+from repro.radar.signal_synth import complex_awgn, synthesize_beat_signal
+
+PARAMS = FMCWParameters()
+
+
+def noise_spectrum(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.abs(np.fft.fft(complex_awgn(n, 1.0, rng))) ** 2 / n
+
+
+class TestCACFAR:
+    def test_detects_strong_tone(self):
+        spectrum = noise_spectrum()
+        spectrum[40] += 100.0
+        hits = ca_cfar(spectrum)
+        assert hits[40]
+
+    def test_false_alarm_rate_controlled(self):
+        total, alarms = 0, 0
+        for seed in range(40):
+            spectrum = noise_spectrum(seed=seed)
+            hits = ca_cfar(spectrum, probability_false_alarm=1e-3)
+            total += spectrum.size
+            alarms += int(np.count_nonzero(hits))
+        # Empirical Pfa within an order of magnitude of the design value.
+        assert alarms / total < 1e-2
+
+    def test_adapts_to_raised_floor(self):
+        # Same tone-to-noise ratio at a 100x higher floor: a fixed
+        # threshold would saturate, CFAR still fires on the tone only.
+        spectrum = 100.0 * noise_spectrum(seed=1)
+        spectrum[80] += 100.0 * 100.0
+        hits = ca_cfar(spectrum)
+        assert hits[80]
+        assert np.count_nonzero(hits) <= 3
+
+    def test_masked_tone_not_detected(self):
+        spectrum = noise_spectrum(seed=2)
+        spectrum[10] += 0.1  # well below the noise mean
+        assert not ca_cfar(spectrum)[10]
+
+    def test_circular_wrap(self):
+        spectrum = noise_spectrum(seed=3)
+        spectrum[0] += 100.0
+        assert ca_cfar(spectrum)[0]
+
+    def test_validation(self):
+        spectrum = noise_spectrum()
+        with pytest.raises(ValueError):
+            ca_cfar(spectrum, training_cells=0)
+        with pytest.raises(ValueError):
+            ca_cfar(spectrum, probability_false_alarm=1.5)
+        with pytest.raises(ValueError):
+            ca_cfar(np.ones(5), guard_cells=2, training_cells=8)
+
+
+class TestSpectralPresenceDetector:
+    def synth(self, distance, extra_noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        f_up, _ = beat_frequencies(PARAMS, distance, 0.0)
+        power = received_power(PARAMS, distance)
+        return synthesize_beat_signal(
+            f_up,
+            power,
+            PARAMS.samples_per_segment,
+            PARAMS.sample_rate,
+            rng=rng,
+            noise_power=PARAMS.noise_floor + extra_noise,
+        )
+
+    def test_detects_echo(self):
+        detector = SpectralPresenceDetector()
+        result = detector.detect(self.synth(100.0))
+        assert result.present
+        assert result.n_detections >= 1
+
+    def test_silence_is_absent(self):
+        rng = np.random.default_rng(0)
+        detector = SpectralPresenceDetector(probability_false_alarm=1e-6)
+        noise = complex_awgn(PARAMS.samples_per_segment, PARAMS.noise_floor, rng)
+        assert not detector.detect(noise).present
+
+    def test_detects_under_raised_floor(self):
+        # Echo 10 dB above a floor that is itself 20 dB above thermal:
+        # a fixed thermal-referenced threshold would declare presence for
+        # the noise alone; CFAR keys on the tone.
+        power = received_power(PARAMS, 50.0)
+        result = SpectralPresenceDetector().detect(
+            self.synth(50.0, extra_noise=power / 10.0)
+        )
+        assert result.present
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpectralPresenceDetector(min_detections=0)
+
+
+class TestReceiverWithCFAR:
+    def test_cfar_receiver_round_trip(self):
+        receiver = RadarReceiver(PARAMS, presence="cfar")
+        rng = np.random.default_rng(5)
+        f_up, f_down = beat_frequencies(PARAMS, 60.0, -1.5)
+        power = received_power(PARAMS, 60.0)
+        n, fs = PARAMS.samples_per_segment, PARAMS.sample_rate
+        up = synthesize_beat_signal(f_up, power, n, fs, rng=rng, noise_power=PARAMS.noise_floor)
+        down = synthesize_beat_signal(f_down, power, n, fs, rng=rng, noise_power=PARAMS.noise_floor)
+        out = receiver.process(up, down)
+        assert out.present
+        assert out.distance == pytest.approx(60.0, abs=0.5)
+
+    def test_cfar_receiver_silence(self):
+        receiver = RadarReceiver(PARAMS, presence="cfar")
+        rng = np.random.default_rng(6)
+        n = PARAMS.samples_per_segment
+        up = complex_awgn(n, PARAMS.noise_floor, rng)
+        down = complex_awgn(n, PARAMS.noise_floor, rng)
+        assert not receiver.process(up, down).present
+
+    def test_rejects_unknown_presence(self):
+        with pytest.raises(ValueError):
+            RadarReceiver(PARAMS, presence="psychic")

@@ -1,0 +1,79 @@
+"""Chirp-level mixing (repro.radar.dechirp) vs the direct beat model.
+
+The direct beat synthesis used by the sensor is a shortcut; these tests
+validate it against the actual FMCW mixing physics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radar import FMCWParameters, RadarReceiver, beat_frequencies, root_music
+from repro.radar.dechirp import chirp_phase, dechirp_scene, dechirped_echo
+
+PARAMS = FMCWParameters()
+
+
+class TestChirpPhase:
+    def test_instantaneous_frequency_is_linear(self):
+        fs = 10e6
+        t = np.arange(1000) / fs
+        phase = chirp_phase(t, start_frequency=1e5, slope=1e9)
+        inst_freq = np.diff(phase) / (2.0 * np.pi) * fs
+        assert inst_freq[0] == pytest.approx(1e5, rel=0.05)
+        # Frequency grows linearly with slope S.
+        assert np.diff(inst_freq).mean() == pytest.approx(1e9 / fs, rel=0.05)
+
+
+class TestDechirpedEcho:
+    @pytest.mark.parametrize(
+        "distance,velocity", [(20.0, 0.0), (80.0, -3.0), (150.0, 10.0)]
+    )
+    def test_up_sweep_tone_matches_eqn5(self, distance, velocity):
+        f_up, _ = beat_frequencies(PARAMS, distance, velocity)
+        signal = dechirped_echo(PARAMS, distance, velocity, up_sweep=True)
+        estimated = root_music(signal, 1, PARAMS.sample_rate)[0]
+        assert estimated == pytest.approx(f_up, abs=50.0)
+
+    @pytest.mark.parametrize(
+        "distance,velocity", [(20.0, 0.0), (80.0, -3.0), (150.0, 10.0)]
+    )
+    def test_down_sweep_tone_matches_eqn6(self, distance, velocity):
+        _, f_down = beat_frequencies(PARAMS, distance, velocity)
+        signal = dechirped_echo(PARAMS, distance, velocity, up_sweep=False)
+        estimated = root_music(signal, 1, PARAMS.sample_rate)[0]
+        assert estimated == pytest.approx(f_down, abs=50.0)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            dechirped_echo(PARAMS, 0.0, 0.0)
+
+
+class TestSceneRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=5.0, max_value=195.0),
+        st.floats(min_value=-25.0, max_value=25.0),
+    )
+    def test_receiver_recovers_scene_from_mixed_chirps(self, distance, velocity):
+        """Full physics path: chirp mixing → receiver → scene."""
+        up, down = dechirp_scene(PARAMS, distance, velocity, amplitude=1.0)
+        receiver = RadarReceiver(PARAMS, detection_threshold_factor=1.0 + 1e-9)
+        output = receiver.process(up, down)
+        assert output.present
+        assert output.distance == pytest.approx(distance, abs=0.5)
+        assert output.relative_velocity == pytest.approx(velocity, abs=0.3)
+
+    def test_agrees_with_direct_beat_synthesis(self):
+        """The sensor's shortcut and the physics path give the same scene."""
+        from repro.radar.signal_synth import synthesize_beat_signal
+
+        distance, velocity = 80.0, -3.0
+        f_up, f_down = beat_frequencies(PARAMS, distance, velocity)
+        direct_up = synthesize_beat_signal(
+            f_up, 1.0, PARAMS.samples_per_segment, PARAMS.sample_rate, phase=0.0
+        )
+        physics_up = dechirped_echo(PARAMS, distance, velocity, up_sweep=True)
+        f_direct = root_music(direct_up, 1, PARAMS.sample_rate)[0]
+        f_physics = root_music(physics_up, 1, PARAMS.sample_rate)[0]
+        assert f_physics == pytest.approx(f_direct, abs=20.0)

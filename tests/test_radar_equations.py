@@ -1,0 +1,94 @@
+"""Beat-frequency equations (repro.radar.equations) — paper Eqns 5-8."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radar import FMCWParameters, beat_frequencies, invert_beat_frequencies
+from repro.radar.equations import (
+    distance_from_extra_delay,
+    doppler_frequency,
+    extra_delay_for_distance_offset,
+    max_unambiguous_beat_frequency,
+    range_frequency,
+    round_trip_delay,
+)
+from repro.units import SPEED_OF_LIGHT
+
+PARAMS = FMCWParameters()
+
+
+class TestForwardModel:
+    def test_round_trip_delay(self):
+        assert round_trip_delay(150.0) == pytest.approx(2 * 150.0 / SPEED_OF_LIGHT)
+
+    def test_round_trip_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            round_trip_delay(-1.0)
+
+    def test_range_frequency_scale(self):
+        # 2 * Bs / (c * Ts) ≈ 500.3 Hz per meter for the LRR2 waveform.
+        per_meter = range_frequency(PARAMS, 1.0)
+        assert per_meter == pytest.approx(500.3, abs=0.5)
+
+    def test_doppler_frequency_scale(self):
+        # 2 / λ ≈ 514 Hz per m/s.
+        assert doppler_frequency(PARAMS, 1.0) == pytest.approx(2 / 3.89e-3, rel=1e-9)
+
+    def test_stationary_target_has_equal_beats(self):
+        f_up, f_down = beat_frequencies(PARAMS, 100.0, 0.0)
+        assert f_up == pytest.approx(f_down)
+
+    def test_closing_target_shifts_beats_apart(self):
+        # Closing (negative relative velocity): up-beat rises, down-beat falls.
+        f_up, f_down = beat_frequencies(PARAMS, 100.0, -5.0)
+        f_up0, f_down0 = beat_frequencies(PARAMS, 100.0, 0.0)
+        assert f_up > f_up0
+        assert f_down < f_down0
+
+    def test_paper_scenario_beats_below_nyquist(self):
+        # All in-envelope geometries must be representable.
+        f_up, f_down = beat_frequencies(PARAMS, 200.0, -30.0)
+        nyquist = max_unambiguous_beat_frequency(PARAMS)
+        assert abs(f_up) < nyquist
+        assert abs(f_down) < nyquist
+
+
+class TestInverseModel:
+    @given(
+        st.floats(min_value=2.0, max_value=200.0),
+        st.floats(min_value=-40.0, max_value=40.0),
+    )
+    def test_round_trip_exact(self, distance, velocity):
+        f_up, f_down = beat_frequencies(PARAMS, distance, velocity)
+        d, dv = invert_beat_frequencies(PARAMS, f_up, f_down)
+        assert d == pytest.approx(distance, rel=1e-9, abs=1e-9)
+        assert dv == pytest.approx(velocity, rel=1e-9, abs=1e-9)
+
+    def test_eqn7_constant(self):
+        # d = c Ts (f+ + f-) / (4 Bs): check against a hand computation.
+        f_sum = 4.0 * 150e6 * 100.0 / (SPEED_OF_LIGHT * 2e-3)  # f+ + f- at 100 m
+        d, _ = invert_beat_frequencies(PARAMS, f_sum / 2, f_sum / 2)
+        assert d == pytest.approx(100.0)
+
+    def test_eqn8_constant(self):
+        # Δv = λ (f- - f+) / 4.
+        _, dv = invert_beat_frequencies(PARAMS, 0.0, 4.0 / 3.89e-3)
+        assert dv == pytest.approx(1.0)
+
+
+class TestDelayInjectionGeometry:
+    def test_six_meters_maps_to_40ns(self):
+        # The paper's 6 m spoof needs 2*6/c ≈ 40 ns of injected delay.
+        delay = extra_delay_for_distance_offset(6.0)
+        assert delay == pytest.approx(4.003e-8, rel=1e-3)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_round_trip(self, offset):
+        delay = extra_delay_for_distance_offset(offset)
+        assert distance_from_extra_delay(delay) == pytest.approx(offset, abs=1e-9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            extra_delay_for_distance_offset(-1.0)
+        with pytest.raises(ValueError):
+            distance_from_extra_delay(-1e-9)

@@ -1,0 +1,134 @@
+"""Radar range equation and jammer link budget — paper Eqns 9-11."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radar import (
+    FMCWParameters,
+    JammerParameters,
+    jamming_power_ratio,
+    jamming_succeeds,
+    received_power,
+)
+from repro.radar.link_budget import (
+    beat_snr,
+    burn_through_range,
+    jammer_received_power,
+    thermal_noise_power,
+)
+
+PARAMS = FMCWParameters()
+JAMMER = JammerParameters()
+
+
+class TestReceivedPower:
+    def test_inverse_fourth_power_law(self):
+        p50 = received_power(PARAMS, 50.0)
+        p100 = received_power(PARAMS, 100.0)
+        assert p50 / p100 == pytest.approx(16.0)
+
+    def test_magnitude_at_100m(self):
+        # Pt G² λ² σ / ((4π)³ d⁴ L) with the paper's numbers ≈ 3e-12 W.
+        assert received_power(PARAMS, 100.0) == pytest.approx(2.97e-12, rel=0.05)
+
+    def test_rcs_scales_linearly(self):
+        assert received_power(PARAMS, 100.0, rcs=20.0) == pytest.approx(
+            2.0 * received_power(PARAMS, 100.0, rcs=10.0)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            received_power(PARAMS, 0.0)
+        with pytest.raises(ValueError):
+            received_power(PARAMS, 10.0, rcs=-1.0)
+
+
+class TestJammerPower:
+    def test_inverse_square_law(self):
+        p50 = jammer_received_power(PARAMS, JAMMER, 50.0)
+        p100 = jammer_received_power(PARAMS, JAMMER, 100.0)
+        assert p50 / p100 == pytest.approx(4.0)
+
+    def test_jammer_dominates_at_paper_distances(self):
+        # With the §6.2 jammer the echo is swamped throughout the
+        # radar's operating envelope.
+        for d in (10.0, 50.0, 100.0, 200.0):
+            assert jamming_succeeds(PARAMS, JAMMER, d)
+
+    def test_band_fraction_caps_at_one(self):
+        narrow = JammerParameters(bandwidth=50e6)  # narrower than radar band
+        wide = JammerParameters(bandwidth=155e6)
+        assert jammer_received_power(PARAMS, narrow, 100.0) >= jammer_received_power(
+            PARAMS, wide, 100.0
+        )
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            jammer_received_power(PARAMS, JAMMER, 0.0)
+
+
+class TestEqn11Ratio:
+    @given(st.floats(min_value=1.0, max_value=500.0))
+    def test_ratio_scales_inverse_square(self, distance):
+        base = jamming_power_ratio(PARAMS, JAMMER, 1.0)
+        ratio = jamming_power_ratio(PARAMS, JAMMER, distance)
+        assert ratio == pytest.approx(base / distance**2, rel=1e-9)
+
+    def test_weak_jammer_fails(self):
+        weak = JammerParameters(peak_power=1e-12)
+        assert not jamming_succeeds(PARAMS, weak, 100.0)
+
+    def test_burn_through_range_is_the_crossover(self):
+        weak = JammerParameters(peak_power=1e-9)
+        d_bt = burn_through_range(PARAMS, weak)
+        assert jamming_power_ratio(PARAMS, weak, d_bt) == pytest.approx(1.0, rel=1e-6)
+        assert jamming_succeeds(PARAMS, weak, d_bt * 1.01)
+        assert not jamming_succeeds(PARAMS, weak, d_bt * 0.99)
+
+
+class TestNoiseAndSNR:
+    def test_thermal_noise_positive_and_scales_with_band(self):
+        n1 = thermal_noise_power(PARAMS, 1e6)
+        n2 = thermal_noise_power(PARAMS, 2e6)
+        assert n2 == pytest.approx(2.0 * n1)
+
+    def test_default_band_is_sample_rate(self):
+        assert thermal_noise_power(PARAMS) == pytest.approx(
+            thermal_noise_power(PARAMS, PARAMS.sample_rate)
+        )
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power(PARAMS, 0.0)
+
+    def test_snr_is_usable_across_envelope(self):
+        # The radar must see targets at its maximum specified range.
+        snr_near = beat_snr(PARAMS, 10.0)
+        snr_far = beat_snr(PARAMS, 200.0)
+        assert snr_far > 10.0  # > 10 dB at max range
+        assert snr_near > snr_far
+
+    def test_snr_monotonically_decreasing(self):
+        snrs = [beat_snr(PARAMS, d) for d in (5.0, 20.0, 80.0, 200.0)]
+        assert all(a > b for a, b in zip(snrs, snrs[1:]))
+
+
+class TestJammerParameters:
+    def test_paper_defaults(self):
+        assert JAMMER.peak_power == pytest.approx(0.1)
+        assert JAMMER.antenna_gain_db == 10.0
+        assert JAMMER.bandwidth == 155e6
+        assert JAMMER.loss_db == pytest.approx(0.10)
+
+    def test_gain_linear(self):
+        assert JAMMER.antenna_gain == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            JammerParameters(peak_power=0.0)
+        with pytest.raises(Exception):
+            JammerParameters(bandwidth=-1.0)
+        with pytest.raises(Exception):
+            JammerParameters(loss_db=-0.1)

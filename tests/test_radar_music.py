@@ -1,0 +1,107 @@
+"""Root-MUSIC spectral estimation (repro.radar.music)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SpectralEstimationError
+from repro.radar import estimate_single_tone, root_music
+from repro.radar.signal_synth import synthesize_beat_signal
+
+FS = 256e3
+N = 256
+
+
+def tone(freq, snr_db=30.0, seed=0, n=N):
+    rng = np.random.default_rng(seed)
+    noise_power = 10 ** (-snr_db / 10.0)
+    return synthesize_beat_signal(
+        freq, power=1.0, n_samples=n, sample_rate=FS, rng=rng, noise_power=noise_power
+    )
+
+
+class TestRootMusicSingleTone:
+    @pytest.mark.parametrize("freq", [500.0, 5e3, 50e3, 110e3, -20e3])
+    def test_recovers_tone(self, freq):
+        est = root_music(tone(freq), n_sources=1, sample_rate=FS)
+        assert est[0] == pytest.approx(freq, abs=20.0)
+
+    def test_noiseless_is_extremely_accurate(self):
+        signal = synthesize_beat_signal(
+            12345.0, power=1.0, n_samples=N, sample_rate=FS, phase=0.3
+        )
+        est = root_music(signal, n_sources=1, sample_rate=FS)
+        assert est[0] == pytest.approx(12345.0, abs=0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=-100e3, max_value=100e3),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_high_snr_accuracy(self, freq, seed):
+        est = root_music(tone(freq, snr_db=25.0, seed=seed), 1, FS)
+        assert est[0] == pytest.approx(freq, abs=50.0)
+
+    def test_low_snr_still_in_ballpark(self):
+        est = root_music(tone(40e3, snr_db=5.0, seed=3), 1, FS)
+        assert est[0] == pytest.approx(40e3, abs=500.0)
+
+
+class TestRootMusicTwoTones:
+    def test_resolves_two_separated_tones(self):
+        rng = np.random.default_rng(1)
+        s = (
+            synthesize_beat_signal(10e3, 1.0, N, FS, rng=rng)
+            + synthesize_beat_signal(30e3, 1.0, N, FS, rng=rng)
+            + synthesize_beat_signal(0.0, 0.0, N, FS, rng=rng, noise_power=1e-3)
+        )
+        est = root_music(s, n_sources=2, sample_rate=FS)
+        assert est[0] == pytest.approx(10e3, abs=100.0)
+        assert est[1] == pytest.approx(30e3, abs=100.0)
+
+    def test_close_tones_beyond_fft_resolution(self):
+        # FFT bin is fs/N = 1 kHz; MUSIC resolves a 600 Hz split.
+        rng = np.random.default_rng(2)
+        s = (
+            synthesize_beat_signal(20e3, 1.0, N, FS, rng=rng)
+            + synthesize_beat_signal(20.6e3, 1.0, N, FS, rng=rng)
+            + synthesize_beat_signal(0.0, 0.0, N, FS, rng=rng, noise_power=1e-4)
+        )
+        est = root_music(s, n_sources=2, sample_rate=FS)
+        assert est[0] == pytest.approx(20e3, abs=150.0)
+        assert est[1] == pytest.approx(20.6e3, abs=150.0)
+
+
+class TestRootMusicValidation:
+    def test_rejects_bad_n_sources(self):
+        with pytest.raises(ValueError):
+            root_music(tone(1e3), n_sources=0, sample_rate=FS)
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            root_music(tone(1e3), n_sources=1, sample_rate=0.0)
+
+    def test_too_short_signal_raises(self):
+        with pytest.raises(SpectralEstimationError):
+            root_music(np.ones(4, dtype=complex), n_sources=2, sample_rate=FS)
+
+    def test_order_must_exceed_sources(self):
+        with pytest.raises(SpectralEstimationError):
+            root_music(tone(1e3), n_sources=3, sample_rate=FS, covariance_order=3)
+
+
+class TestSingleToneFFT:
+    @pytest.mark.parametrize("freq", [500.0, 5e3, 50e3, -30e3])
+    def test_matches_truth(self, freq):
+        est = estimate_single_tone(tone(freq, seed=9), FS)
+        assert est == pytest.approx(freq, abs=30.0)
+
+    def test_cross_check_with_music(self):
+        s = tone(42e3, seed=5)
+        music = root_music(s, 1, FS)[0]
+        fft = estimate_single_tone(s, FS)
+        assert music == pytest.approx(fft, abs=50.0)
+
+    def test_rejects_tiny_signal(self):
+        with pytest.raises(SpectralEstimationError):
+            estimate_single_tone(np.ones(2, dtype=complex), FS)

@@ -1,0 +1,80 @@
+"""FMCW parameter sets (repro.radar.params)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.radar import BOSCH_LRR2, FMCWParameters, bosch_lrr2
+
+
+class TestBoschLRR2Preset:
+    def test_paper_values(self):
+        # §4.1 and §6.2 of the paper.
+        assert BOSCH_LRR2.carrier_frequency == 77e9
+        assert BOSCH_LRR2.sweep_bandwidth == 150e6
+        assert BOSCH_LRR2.sweep_time == pytest.approx(2e-3)
+        assert BOSCH_LRR2.wavelength == pytest.approx(3.89e-3)
+        assert BOSCH_LRR2.transmit_power == pytest.approx(10e-3)
+        assert BOSCH_LRR2.antenna_gain_db == 28.0
+        assert BOSCH_LRR2.system_loss_db == pytest.approx(0.10)
+        assert BOSCH_LRR2.min_range == 2.0
+        assert BOSCH_LRR2.max_range == 200.0
+
+    def test_sweep_slope(self):
+        assert BOSCH_LRR2.sweep_slope == pytest.approx(150e6 / 2e-3)
+
+    def test_factory_returns_preset(self):
+        assert bosch_lrr2() is BOSCH_LRR2
+
+    def test_factory_overrides(self):
+        radar = bosch_lrr2(default_rcs=5.0)
+        assert radar.default_rcs == 5.0
+        assert radar.sweep_bandwidth == BOSCH_LRR2.sweep_bandwidth
+
+    def test_noise_floor_positive(self):
+        assert BOSCH_LRR2.noise_floor > 0.0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_scalars(self):
+        for field in (
+            "carrier_frequency",
+            "sweep_bandwidth",
+            "sweep_time",
+            "wavelength",
+            "transmit_power",
+            "default_rcs",
+            "sample_rate",
+        ):
+            with pytest.raises(ConfigurationError):
+                FMCWParameters(**{field: 0.0})
+
+    def test_rejects_bad_range_envelope(self):
+        with pytest.raises(ConfigurationError):
+            FMCWParameters(min_range=10.0, max_range=5.0)
+        with pytest.raises(ConfigurationError):
+            FMCWParameters(min_range=0.0)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            FMCWParameters(samples_per_segment=4)
+
+    def test_rejects_negative_losses(self):
+        with pytest.raises(ConfigurationError):
+            FMCWParameters(system_loss_db=-1.0)
+        with pytest.raises(ConfigurationError):
+            FMCWParameters(noise_figure_db=-1.0)
+
+    def test_rejects_aliasing_configuration(self):
+        # Max range beat frequency must stay below Nyquist.
+        with pytest.raises(ConfigurationError):
+            FMCWParameters(sample_rate=50e3)
+
+    def test_with_overrides_keeps_validation(self):
+        with pytest.raises(ConfigurationError):
+            BOSCH_LRR2.with_overrides(sweep_time=-1.0)
+
+    def test_linear_conversions(self):
+        radar = FMCWParameters()
+        assert radar.antenna_gain == pytest.approx(630.957, rel=1e-4)
+        assert radar.system_loss == pytest.approx(1.0233, rel=1e-3)
+        assert radar.noise_figure == pytest.approx(10.0)

@@ -1,0 +1,88 @@
+"""Radar receiver chain (repro.radar.receiver)."""
+
+import numpy as np
+import pytest
+
+from repro.radar import FMCWParameters, RadarReceiver, beat_frequencies
+from repro.radar.link_budget import received_power
+from repro.radar.signal_synth import complex_awgn, synthesize_beat_signal
+
+PARAMS = FMCWParameters()
+
+
+def synth_echo(distance, velocity, seed=0, extra_noise=0.0):
+    rng = np.random.default_rng(seed)
+    f_up, f_down = beat_frequencies(PARAMS, distance, velocity)
+    power = received_power(PARAMS, distance)
+    n = PARAMS.samples_per_segment
+    noise = PARAMS.noise_floor + extra_noise
+    up = synthesize_beat_signal(
+        f_up, power, n, PARAMS.sample_rate, rng=rng, noise_power=noise
+    )
+    down = synthesize_beat_signal(
+        f_down, power, n, PARAMS.sample_rate, rng=rng, noise_power=noise
+    )
+    return up, down
+
+
+class TestPresenceDetection:
+    def test_noise_only_reports_absent(self):
+        rng = np.random.default_rng(0)
+        n = PARAMS.samples_per_segment
+        up = complex_awgn(n, PARAMS.noise_floor, rng)
+        down = complex_awgn(n, PARAMS.noise_floor, rng)
+        out = RadarReceiver(PARAMS).process(up, down)
+        assert not out.present
+        assert out.distance == 0.0
+        assert out.relative_velocity == 0.0
+
+    def test_echo_reports_present(self):
+        out = RadarReceiver(PARAMS).process(*synth_echo(100.0, -1.0))
+        assert out.present
+
+    def test_far_target_still_detected(self):
+        # Max range target must clear the presence threshold.
+        out = RadarReceiver(PARAMS).process(*synth_echo(200.0, 0.0))
+        assert out.present
+
+    def test_threshold_factor_validation(self):
+        with pytest.raises(ValueError):
+            RadarReceiver(PARAMS, detection_threshold_factor=0.5)
+
+
+class TestMeasurementAccuracy:
+    @pytest.mark.parametrize(
+        "distance,velocity",
+        [(10.0, 0.0), (50.0, -5.0), (100.0, -0.9), (150.0, 10.0), (35.0, -2.0)],
+    )
+    def test_distance_and_velocity(self, distance, velocity):
+        out = RadarReceiver(PARAMS).process(*synth_echo(distance, velocity, seed=42))
+        assert out.present
+        assert out.distance == pytest.approx(distance, abs=0.5)
+        assert out.relative_velocity == pytest.approx(velocity, abs=0.3)
+
+    def test_beat_frequencies_reported(self):
+        out = RadarReceiver(PARAMS).process(*synth_echo(80.0, -3.0, seed=1))
+        f_up, f_down = beat_frequencies(PARAMS, 80.0, -3.0)
+        assert out.beat_freq_up == pytest.approx(f_up, abs=100.0)
+        assert out.beat_freq_down == pytest.approx(f_down, abs=100.0)
+
+    def test_accuracy_across_seeds(self):
+        errors = []
+        for seed in range(10):
+            out = RadarReceiver(PARAMS).process(*synth_echo(60.0, -1.5, seed=seed))
+            errors.append(abs(out.distance - 60.0))
+        assert max(errors) < 0.5
+
+
+class TestJammedReceiver:
+    def test_strong_jamming_corrupts_measurement(self):
+        # Jamming power 30 dB above the echo: the extracted frequencies
+        # are noise-driven and the distance is far from the truth more
+        # often than not; at minimum, presence is still declared.
+        echo_power = received_power(PARAMS, 100.0)
+        out = RadarReceiver(PARAMS).process(
+            *synth_echo(100.0, -1.0, seed=7, extra_noise=1000.0 * echo_power)
+        )
+        assert out.present
+        assert out.power > 100.0 * PARAMS.noise_floor

@@ -1,0 +1,39 @@
+"""Radar resolution and ambiguity helpers (repro.radar.equations)."""
+
+import pytest
+
+from repro.radar import FMCWParameters, beat_frequencies
+from repro.radar.equations import (
+    max_unambiguous_range,
+    range_resolution,
+    velocity_resolution,
+)
+
+PARAMS = FMCWParameters()
+
+
+class TestResolution:
+    def test_lrr2_range_resolution(self):
+        # c / (2 * 150 MHz) = 1.0 m.
+        assert range_resolution(PARAMS) == pytest.approx(0.999, rel=1e-3)
+
+    def test_range_resolution_scales_inversely_with_bandwidth(self):
+        # Doubling the bandwidth needs a faster baseband to stay below
+        # Nyquist at max range.
+        wide = FMCWParameters(sweep_bandwidth=300e6, sample_rate=512e3)
+        assert range_resolution(wide) == pytest.approx(
+            range_resolution(PARAMS) / 2.0
+        )
+
+    def test_lrr2_velocity_resolution(self):
+        # λ / (4 Ts) = 3.89 mm / 8 ms ≈ 0.486 m/s.
+        assert velocity_resolution(PARAMS) == pytest.approx(0.486, abs=0.01)
+
+    def test_max_unambiguous_range_exceeds_envelope(self):
+        # The sampled baseband must cover the specified 200 m envelope.
+        assert max_unambiguous_range(PARAMS) > PARAMS.max_range
+
+    def test_envelope_edge_beat_is_representable(self):
+        f_up, f_down = beat_frequencies(PARAMS, max_unambiguous_range(PARAMS) * 0.99, 0.0)
+        assert abs(f_up) < PARAMS.sample_rate / 2.0
+        assert abs(f_down) < PARAMS.sample_rate / 2.0

@@ -1,0 +1,135 @@
+"""End-to-end radar sensor (repro.radar.sensor), both fidelity modes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.radar import AttackEffect, FMCWParameters, FMCWRadarSensor
+from repro.radar.link_budget import JammerParameters, jammer_received_power
+from repro.types import SensorStatus
+
+PARAMS = FMCWParameters()
+
+
+def dos_effect(distance=100.0):
+    power = jammer_received_power(PARAMS, JammerParameters(), distance)
+    return AttackEffect(jammer_noise_power=power)
+
+
+DELAY_EFFECT = AttackEffect(
+    spoof_distance_offset=6.0, replace_echo=True, counterfeit_power_gain=4.0
+)
+
+
+class TestConstruction:
+    def test_rejects_unknown_fidelity(self):
+        with pytest.raises(ConfigurationError):
+            FMCWRadarSensor(fidelity="magic")
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            FMCWRadarSensor(distance_noise_std=-1.0)
+
+    def test_envelope(self):
+        sensor = FMCWRadarSensor(seed=0)
+        assert sensor.target_in_envelope(100.0)
+        assert not sensor.target_in_envelope(1.0)
+        assert not sensor.target_in_envelope(250.0)
+
+
+@pytest.mark.parametrize("fidelity", ["equation", "signal"])
+class TestNominalOperation:
+    def test_measures_scene(self, fidelity):
+        sensor = FMCWRadarSensor(fidelity=fidelity, seed=1)
+        m = sensor.measure(0.0, 100.0, -0.9)
+        assert m.distance == pytest.approx(100.0, abs=1.0)
+        assert m.relative_velocity == pytest.approx(-0.9, abs=0.5)
+        assert m.status is SensorStatus.NOMINAL
+
+    def test_challenge_without_attack_is_zero(self, fidelity):
+        sensor = FMCWRadarSensor(fidelity=fidelity, seed=1)
+        m = sensor.measure(15.0, 100.0, -0.9, transmit=False)
+        assert m.is_zero_output(1e-9)
+        assert m.status is SensorStatus.CHALLENGE
+
+    def test_out_of_range_target_invisible(self, fidelity):
+        sensor = FMCWRadarSensor(fidelity=fidelity, seed=1)
+        m = sensor.measure(0.0, 300.0, 0.0)
+        assert m.is_zero_output(1e-9)
+
+    def test_challenge_under_dos_attack_nonzero(self, fidelity):
+        # The CRA detection signal: jamming energy arrives even though
+        # the radar transmitted nothing.
+        sensor = FMCWRadarSensor(fidelity=fidelity, seed=1)
+        m = sensor.measure(182.0, 100.0, -0.9, transmit=False, effect=dos_effect())
+        assert not m.is_zero_output(1e-6)
+
+    def test_challenge_under_delay_attack_nonzero(self, fidelity):
+        # The replayed counterfeit cannot stop in time at a challenge.
+        sensor = FMCWRadarSensor(fidelity=fidelity, seed=1)
+        m = sensor.measure(182.0, 100.0, -0.9, transmit=False, effect=DELAY_EFFECT)
+        assert not m.is_zero_output(1e-6)
+
+    def test_delay_attack_spoofs_distance(self, fidelity):
+        sensor = FMCWRadarSensor(fidelity=fidelity, seed=1)
+        m = sensor.measure(182.0, 100.0, -0.9, effect=DELAY_EFFECT)
+        assert m.distance == pytest.approx(106.0, abs=1.0)
+
+    def test_determinism(self, fidelity):
+        a = FMCWRadarSensor(fidelity=fidelity, seed=7).measure(0.0, 80.0, -2.0)
+        b = FMCWRadarSensor(fidelity=fidelity, seed=7).measure(0.0, 80.0, -2.0)
+        assert a.distance == b.distance
+        assert a.relative_velocity == b.relative_velocity
+
+
+class TestDoSCorruption:
+    def test_equation_mode_spurious_measurements(self):
+        sensor = FMCWRadarSensor(fidelity="equation", seed=3)
+        readings = [
+            sensor.measure(float(k), 100.0, -0.9, effect=dos_effect()).distance
+            for k in range(50)
+        ]
+        # Spurious readings are erratic and frequently far from the truth.
+        errors = [abs(r - 100.0) for r in readings]
+        assert np.median(errors) > 20.0
+        assert np.std(readings) > 20.0
+
+    def test_signal_mode_corrupts_measurement(self):
+        sensor = FMCWRadarSensor(fidelity="signal", seed=3)
+        errors = [
+            abs(sensor.measure(float(k), 100.0, -0.9, effect=dos_effect()).distance - 100.0)
+            for k in range(10)
+        ]
+        assert np.median(errors) > 20.0
+
+    def test_weak_jammer_does_not_corrupt_equation_mode(self):
+        sensor = FMCWRadarSensor(fidelity="equation", seed=3)
+        weak = AttackEffect(jammer_noise_power=1e-18)  # below echo power
+        m = sensor.measure(0.0, 100.0, -0.9, effect=weak)
+        assert m.distance == pytest.approx(100.0, abs=1.0)
+
+
+class TestMeasurementMetadata:
+    def test_received_power_recorded(self):
+        sensor = FMCWRadarSensor(fidelity="equation", seed=0)
+        m = sensor.measure(0.0, 100.0, 0.0)
+        assert m.received_power > 0.0
+
+    def test_beat_frequencies_recorded(self):
+        sensor = FMCWRadarSensor(fidelity="equation", seed=0)
+        m = sensor.measure(0.0, 100.0, 0.0)
+        assert m.beat_freq_up > 0.0
+        assert m.beat_freq_down > 0.0
+
+
+class TestAttackEffect:
+    def test_jamming_flag(self):
+        assert dos_effect().is_jamming
+        assert not dos_effect().is_spoofing
+
+    def test_spoofing_flag(self):
+        assert DELAY_EFFECT.is_spoofing
+        assert not DELAY_EFFECT.is_jamming
+
+    def test_velocity_only_spoof_is_spoofing(self):
+        assert AttackEffect(spoof_velocity_offset=1.0).is_spoofing

@@ -1,0 +1,107 @@
+"""Alpha-beta tracker with coasting (repro.radar.tracker)."""
+
+import pytest
+
+from repro.radar.tracker import AlphaBetaTracker
+
+
+class TestTrackLifecycle:
+    def test_starts_empty(self):
+        tracker = AlphaBetaTracker()
+        assert tracker.state.status == "empty"
+        assert not tracker.has_track
+
+    def test_initiation_needs_confirm_hits(self):
+        tracker = AlphaBetaTracker(confirm_hits=2)
+        assert tracker.update((100.0, -1.0)) is None
+        assert tracker.state.status == "tentative"
+        assert tracker.update((99.0, -1.0)) is not None
+        assert tracker.state.status == "confirmed"
+
+    def test_tentative_track_dies_on_miss(self):
+        tracker = AlphaBetaTracker(confirm_hits=2)
+        tracker.update((100.0, -1.0))
+        assert tracker.update(None) is None
+        assert tracker.state.status == "empty"
+
+    def test_confirmed_track_coasts(self):
+        tracker = AlphaBetaTracker(confirm_hits=1, max_coast=3)
+        tracker.update((100.0, -2.0))
+        coasted = tracker.update(None)
+        assert coasted is not None
+        # Coasting extrapolates the rate: 100 - 2*1 = 98.
+        assert coasted[0] == pytest.approx(98.0)
+        assert tracker.state.status == "coasting"
+
+    def test_track_drops_after_max_coast(self):
+        tracker = AlphaBetaTracker(confirm_hits=1, max_coast=2)
+        tracker.update((100.0, 0.0))
+        assert tracker.update(None) is not None
+        assert tracker.update(None) is not None
+        assert tracker.update(None) is None
+        assert tracker.state.status == "empty"
+
+    def test_redetection_resets_miss_count(self):
+        tracker = AlphaBetaTracker(confirm_hits=1, max_coast=2)
+        tracker.update((100.0, -1.0))
+        tracker.update(None)
+        tracker.update((98.0, -1.0))
+        assert tracker.state.consecutive_misses == 0
+
+    def test_reset(self):
+        tracker = AlphaBetaTracker(confirm_hits=1)
+        tracker.update((100.0, 0.0))
+        tracker.reset()
+        assert tracker.state.status == "empty"
+
+
+class TestFiltering:
+    def test_converges_on_constant_rate_target(self):
+        tracker = AlphaBetaTracker(confirm_hits=1)
+        d = 100.0
+        for _ in range(30):
+            out = tracker.update((d, -2.0))
+            d -= 2.0
+        assert out[0] == pytest.approx(d + 2.0, abs=0.5)
+        assert out[1] == pytest.approx(-2.0, abs=0.2)
+
+    def test_smooths_noise(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        tracker = AlphaBetaTracker(confirm_hits=1)
+        errors_raw, errors_tracked = [], []
+        d = 100.0
+        for _ in range(100):
+            z = d + rng.normal(0, 1.0)
+            out = tracker.update((z, 0.0))
+            errors_raw.append(abs(z - d))
+            errors_tracked.append(abs(out[0] - d))
+        assert np.mean(errors_tracked[20:]) < np.mean(errors_raw[20:])
+
+    def test_challenge_gap_bridged_transparently(self):
+        """The paper's CRA challenge looks like one missed detection."""
+        tracker = AlphaBetaTracker(confirm_hits=2, max_coast=5)
+        d = 100.0
+        for k in range(20):
+            if k == 10:  # challenge instant: empty return
+                out = tracker.update(None)
+            else:
+                out = tracker.update((d, -1.0))
+            if k >= 1:
+                assert out is not None
+            d -= 1.0
+
+
+class TestValidation:
+    def test_parameter_ranges(self):
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(beta=-0.1)
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(sample_period=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(confirm_hits=0)
+        with pytest.raises(ValueError):
+            AlphaBetaTracker(max_coast=-1)

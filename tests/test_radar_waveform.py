@@ -1,0 +1,116 @@
+"""Triangular sweep and CRA binary modulation (repro.radar.waveform)."""
+
+import numpy as np
+import pytest
+
+from repro.radar import BinaryModulator, FMCWParameters, TriangularSweep
+from repro.radar.signal_synth import (
+    combine_components,
+    complex_awgn,
+    signal_power,
+    synthesize_beat_signal,
+)
+
+PARAMS = FMCWParameters()
+
+
+class TestTriangularSweep:
+    def setup_method(self):
+        self.sweep = TriangularSweep(PARAMS)
+
+    def test_period(self):
+        assert self.sweep.period == pytest.approx(2.0 * PARAMS.sweep_time)
+
+    def test_frequency_range(self):
+        t = np.linspace(0.0, self.sweep.period, 1000)
+        freq = self.sweep.instantaneous_frequency(t)
+        low = PARAMS.carrier_frequency - PARAMS.sweep_bandwidth / 2.0
+        high = PARAMS.carrier_frequency + PARAMS.sweep_bandwidth / 2.0
+        assert np.min(freq) >= low - 1.0
+        assert np.max(freq) <= high + 1.0
+
+    def test_up_sweep_rises(self):
+        t = np.linspace(0.0, PARAMS.sweep_time * 0.99, 100)
+        freq = self.sweep.instantaneous_frequency(t)
+        assert np.all(np.diff(freq) > 0)
+
+    def test_down_sweep_falls(self):
+        t = np.linspace(PARAMS.sweep_time * 1.01, self.sweep.period * 0.99, 100)
+        freq = self.sweep.instantaneous_frequency(t)
+        assert np.all(np.diff(freq) < 0)
+
+    def test_periodic_wrap(self):
+        f0 = self.sweep.instantaneous_frequency(0.0001)
+        f1 = self.sweep.instantaneous_frequency(0.0001 + self.sweep.period)
+        assert f0 == pytest.approx(f1)
+
+    def test_segment_classification(self):
+        assert self.sweep.segment_of(PARAMS.sweep_time * 0.5) == 1
+        assert self.sweep.segment_of(PARAMS.sweep_time * 1.5) == -1
+
+    def test_sample_times(self):
+        up, down = self.sweep.sample_times()
+        assert len(up) == PARAMS.samples_per_segment
+        assert len(down) == PARAMS.samples_per_segment
+        assert np.all(down >= PARAMS.sweep_time)
+        assert up[1] - up[0] == pytest.approx(1.0 / PARAMS.sample_rate)
+
+
+class TestBinaryModulator:
+    def test_transmit_passes_through(self):
+        modulator = BinaryModulator(PARAMS)
+        envelope = np.ones(8, dtype=complex)
+        assert np.array_equal(modulator.apply(envelope, transmit=True), envelope)
+
+    def test_challenge_suppresses(self):
+        modulator = BinaryModulator(PARAMS)
+        envelope = np.ones(8, dtype=complex)
+        gated = modulator.apply(envelope, transmit=False)
+        assert np.all(gated == 0.0)
+
+    def test_modulation_value(self):
+        modulator = BinaryModulator(PARAMS)
+        assert modulator.modulation_value(True) == 1
+        assert modulator.modulation_value(False) == 0
+
+
+class TestSignalSynthesis:
+    def test_power_of_pure_tone(self):
+        s = synthesize_beat_signal(1e4, power=2.0, n_samples=512, sample_rate=1e5, phase=0.0)
+        assert signal_power(s) == pytest.approx(2.0)
+
+    def test_noise_power(self, rng):
+        noise = complex_awgn(50000, power=0.5, rng=rng)
+        assert signal_power(noise) == pytest.approx(0.5, rel=0.05)
+
+    def test_awgn_is_circular(self, rng):
+        noise = complex_awgn(50000, power=1.0, rng=rng)
+        assert np.mean(noise.real**2) == pytest.approx(0.5, rel=0.1)
+        assert np.mean(noise.imag**2) == pytest.approx(0.5, rel=0.1)
+
+    def test_rejects_supra_nyquist(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_beat_signal(6e4, 1.0, 64, 1e5, rng=rng)
+
+    def test_rejects_missing_rng(self):
+        with pytest.raises(ValueError):
+            synthesize_beat_signal(1e3, 1.0, 64, 1e5, noise_power=0.1)
+
+    def test_negative_frequency_allowed(self, rng):
+        s = synthesize_beat_signal(-2e4, 1.0, 64, 1e5, rng=rng)
+        assert len(s) == 64
+
+    def test_combine_components(self):
+        a = np.ones(4, dtype=complex)
+        b = 2.0 * np.ones(4, dtype=complex)
+        assert np.array_equal(combine_components([a, b]), 3.0 * np.ones(4))
+
+    def test_combine_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            combine_components([np.ones(4), np.ones(5)])
+
+    def test_combine_empty(self):
+        assert combine_components([]).size == 0
+
+    def test_signal_power_empty(self):
+        assert signal_power(np.array([])) == 0.0

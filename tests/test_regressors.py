@@ -1,0 +1,63 @@
+"""Measurement-matrix bases (repro.core.regressors)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ARBasis, PolynomialBasis
+
+
+class TestPolynomialBasis:
+    def test_degree_zero_is_constant(self):
+        basis = PolynomialBasis(degree=0)
+        assert basis.n_params == 1
+        assert np.allclose(basis.regressor(3.7, []), [1.0])
+
+    def test_linear(self):
+        basis = PolynomialBasis(degree=1)
+        assert np.allclose(basis.regressor(2.0, []), [1.0, 2.0])
+
+    def test_quadratic(self):
+        basis = PolynomialBasis(degree=2)
+        assert np.allclose(basis.regressor(3.0, []), [1.0, 3.0, 9.0])
+
+    def test_ignores_history(self):
+        basis = PolynomialBasis(degree=1)
+        assert not basis.uses_history
+        with_history = basis.regressor(1.0, [(0.0, 99.0)])
+        without = basis.regressor(1.0, [])
+        assert np.allclose(with_history, without)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialBasis(degree=-1)
+
+    def test_repr(self):
+        assert "degree=2" in repr(PolynomialBasis(2))
+
+
+class TestARBasis:
+    def test_needs_enough_history(self):
+        basis = ARBasis(order=3)
+        assert basis.uses_history
+        assert basis.regressor(0.0, []) is None
+        assert basis.regressor(0.0, [(0.0, 1.0), (1.0, 2.0)]) is None
+
+    def test_most_recent_first(self):
+        basis = ARBasis(order=3)
+        history = [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)]
+        assert np.allclose(basis.regressor(3.0, history), [30.0, 20.0, 10.0])
+
+    def test_uses_only_last_order_values(self):
+        basis = ARBasis(order=2)
+        history = [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+        assert np.allclose(basis.regressor(4.0, history), [4.0, 3.0])
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            ARBasis(order=0)
+
+    def test_n_params(self):
+        assert ARBasis(order=5).n_params == 5
+
+    def test_repr(self):
+        assert "order=4" in repr(ARBasis(4))

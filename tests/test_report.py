@@ -1,0 +1,54 @@
+"""Markdown report generation (repro.analysis.report) + CLI flag."""
+
+import io
+
+import pytest
+
+from repro.analysis import build_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report()
+
+
+class TestBuildReport:
+    def test_contains_all_panels(self, report):
+        for panel in ("fig2a", "fig2b", "fig3a", "fig3b"):
+            assert panel in report
+
+    def test_reports_detection_and_safety(self, report):
+        assert "182.00" in report
+        assert "| 0 | 0 |" in report  # zero FP / FN columns
+        # Attacked runs collide, defended do not.
+        assert "| yes |" in report
+        assert "| no |" in report
+
+    def test_is_valid_markdown_table(self, report):
+        table_lines = [l for l in report.splitlines() if l.startswith("|")]
+        widths = {line.count("|") for line in table_lines}
+        assert len(widths) == 1  # consistent column count
+
+    def test_seed_section_optional(self, report):
+        assert "Seed robustness" not in report
+        with_seeds = build_report(seeds=[0, 1])
+        assert "Seed robustness" in with_seeds
+        assert "fig2a defended" in with_seeds
+
+    def test_none_rendered_as_dash(self):
+        from repro.analysis.report import _markdown_table
+
+        assert "-" in _markdown_table([{"a": None}])
+        assert "(no rows)" in _markdown_table([])
+
+
+class TestCLIMarkdown:
+    def test_writes_file(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "report.md"
+        code = main(["report", "--markdown", str(path)], out=out)
+        assert code == 0
+        assert path.exists()
+        assert "fig3b" in path.read_text()
+        assert str(path) in out.getvalue()

@@ -1,0 +1,150 @@
+"""Recursive least squares — the paper's Algorithm 1 (repro.core.rls)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RLSEstimator, rls_estimate
+
+
+class TestConstruction:
+    def test_initial_state_matches_algorithm1(self):
+        # Line 3: w0 = 0, P0 = δ I.
+        rls = RLSEstimator(n_params=3, delta=2.0)
+        assert np.allclose(rls.weights, np.zeros(3))
+        assert np.allclose(rls.correlation, 2.0 * np.eye(3))
+        assert rls.n_updates == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RLSEstimator(n_params=0)
+        with pytest.raises(ValueError):
+            RLSEstimator(n_params=1, forgetting=0.0)
+        with pytest.raises(ValueError):
+            RLSEstimator(n_params=1, forgetting=1.5)
+        with pytest.raises(ValueError):
+            RLSEstimator(n_params=1, delta=0.0)
+
+    def test_forgetting_one_is_allowed(self):
+        RLSEstimator(n_params=1, forgetting=1.0)
+
+
+class TestIdentification:
+    def test_identifies_static_map(self, rng):
+        true_w = np.array([2.0, -3.0, 0.5])
+        rls = RLSEstimator(n_params=3, forgetting=1.0, delta=1e6)
+        for _ in range(100):
+            h = rng.standard_normal(3)
+            rls.update(h, float(true_w @ h))
+        assert np.allclose(rls.weights, true_w, atol=1e-8)
+
+    def test_identifies_with_noise(self, rng):
+        true_w = np.array([1.5, -0.7])
+        rls = RLSEstimator(n_params=2, forgetting=1.0)
+        for _ in range(3000):
+            h = rng.standard_normal(2)
+            rls.update(h, float(true_w @ h) + rng.normal(0.0, 0.1))
+        assert np.allclose(rls.weights, true_w, atol=0.02)
+
+    def test_tracks_time_varying_map_with_forgetting(self, rng):
+        # λ < 1 tracks a weight jump; λ = 1 averages over both regimes.
+        def run(lam):
+            rls = RLSEstimator(n_params=1, forgetting=lam)
+            for k in range(400):
+                w = 1.0 if k < 200 else 5.0
+                h = np.array([1.0 + rng.normal(0, 0.1)])
+                rls.update(h, w * h[0])
+            return rls.weights[0]
+
+        assert abs(run(0.9) - 5.0) < 0.05
+        assert abs(run(1.0) - 5.0) > 0.5
+
+    def test_prediction_error_decreases(self, rng):
+        true_w = np.array([1.0, 2.0, 3.0, 4.0])
+        rls = RLSEstimator(n_params=4, forgetting=1.0, delta=1e6)
+        errors = []
+        for _ in range(60):
+            h = rng.standard_normal(4)
+            errors.append(abs(rls.update(h, float(true_w @ h)).error))
+        assert np.mean(errors[40:]) < np.mean(errors[:10]) * 1e-3
+
+
+class TestUpdateDiagnostics:
+    def test_conversion_factor_at_least_lambda(self, rng):
+        rls = RLSEstimator(n_params=2, forgetting=0.9)
+        for _ in range(20):
+            step = rls.update(rng.standard_normal(2), 1.0)
+            assert step.conversion_factor >= 0.9
+
+    def test_a_priori_prediction_uses_old_weights(self):
+        rls = RLSEstimator(n_params=1, forgetting=1.0)
+        first = rls.update([1.0], 10.0)
+        assert first.prediction == 0.0  # w0 = 0
+        assert first.error == 10.0
+
+    def test_correlation_stays_symmetric(self, rng):
+        rls = RLSEstimator(n_params=3, forgetting=0.95)
+        for _ in range(500):
+            rls.update(rng.standard_normal(3), rng.normal())
+        P = rls.correlation
+        assert np.allclose(P, P.T)
+
+    def test_reset(self, rng):
+        rls = RLSEstimator(n_params=2)
+        rls.update(rng.standard_normal(2), 1.0)
+        rls.reset()
+        assert np.allclose(rls.weights, 0.0)
+        assert rls.n_updates == 0
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-10.0, max_value=10.0), min_size=2, max_size=2
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_property_exact_interpolation_noiseless(self, w, seed):
+        """With enough noiseless data RLS recovers any linear map."""
+        rng = np.random.default_rng(seed)
+        true_w = np.asarray(w)
+        rls = RLSEstimator(n_params=2, forgetting=1.0, delta=1e6)
+        for _ in range(50):
+            h = rng.standard_normal(2)
+            rls.update(h, float(true_w @ h))
+        assert np.allclose(rls.weights, true_w, atol=1e-4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=1.0))
+    def test_property_weights_bounded_for_bounded_data(self, lam):
+        rng = np.random.default_rng(0)
+        rls = RLSEstimator(n_params=2, forgetting=lam)
+        for _ in range(200):
+            h = rng.uniform(-1.0, 1.0, size=2)
+            rls.update(h, rng.uniform(-1.0, 1.0))
+        assert np.all(np.isfinite(rls.weights))
+        assert np.linalg.norm(rls.weights) < 1e3
+
+
+class TestBatchWrapper:
+    def test_returns_a_priori_predictions(self, rng):
+        H = rng.standard_normal((50, 2))
+        w = np.array([3.0, -1.0])
+        y = H @ w
+        predictions, weights = rls_estimate(H, y, forgetting=1.0, delta=1e6)
+        assert predictions.shape == (50,)
+        assert predictions[0] == 0.0  # w0 = 0
+        assert np.allclose(weights, w, atol=1e-5)
+        assert np.allclose(predictions[10:], y[10:], atol=1e-3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            rls_estimate([[1.0], [2.0]], [1.0])
+
+    def test_complexity_is_n_squared_per_step(self, rng):
+        # Structural check: one update touches only n×n matrices.
+        rls = RLSEstimator(n_params=8)
+        step = rls.update(rng.standard_normal(8), 1.0)
+        assert step.gain.shape == (8,)
+        assert rls.correlation.shape == (8, 8)

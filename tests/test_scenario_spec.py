@@ -1,0 +1,111 @@
+"""Declarative scenario specs (repro.simulation.spec)."""
+
+import io
+import json
+
+import pytest
+
+from repro import fig2_scenario, fig3_scenario, run_single
+from repro.attacks import AttackWindow, PhantomTargetAttack
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+from repro.simulation import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.vehicle import StopAndGoProfile
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory,attack", [
+        (fig2_scenario, "dos"),
+        (fig2_scenario, "delay"),
+        (fig3_scenario, "dos"),
+    ])
+    def test_paper_scenarios_round_trip(self, factory, attack):
+        original = factory(attack)
+        rebuilt = scenario_from_dict(scenario_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.challenge_times == original.challenge_times
+        assert rebuilt.attack.window.start == original.attack.window.start
+        assert rebuilt.defense == original.defense
+        assert rebuilt.acc_params == original.acc_params
+        assert rebuilt.radar_params == original.radar_params
+
+    def test_round_trip_preserves_behaviour(self):
+        original = fig2_scenario("delay")
+        rebuilt = scenario_from_dict(scenario_to_dict(original))
+        a = run_single(original, defended=True)
+        b = run_single(rebuilt, defended=True)
+        assert a.detection_times == b.detection_times
+        assert a.min_gap() == pytest.approx(b.min_gap())
+
+    def test_phantom_and_stop_and_go_round_trip(self):
+        scenario = fig2_scenario("dos").with_overrides(
+            name="custom",
+            leader_profile=StopAndGoProfile(deceleration=0.8),
+            attack=PhantomTargetAttack(
+                AttackWindow(100.0, 200.0), phantom_distance=12.0
+            ),
+            follower_policy="idm",
+            dropout_rate=0.05,
+            adaptive_challenge_period=2.0,
+        )
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt.leader_profile.deceleration == 0.8
+        assert rebuilt.attack.phantom_distance == 12.0
+        assert rebuilt.follower_policy == "idm"
+        assert rebuilt.dropout_rate == 0.05
+        assert rebuilt.adaptive_challenge_period == 2.0
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = save_scenario(fig2_scenario("dos"), tmp_path / "spec.json")
+        loaded = load_scenario(path)
+        assert loaded.attack.window.start == 182.0
+        # The file itself is valid, human-editable JSON.
+        spec = json.loads(path.read_text())
+        assert spec["leader_profile"]["kind"] == "constant"
+
+
+class TestSpecValidation:
+    def test_minimal_spec_gets_defaults(self):
+        scenario = scenario_from_dict(
+            {"leader_profile": {"kind": "constant", "acceleration": -0.1}}
+        )
+        assert scenario.horizon == 300.0
+        assert scenario.attack is None
+        assert scenario.name == "custom"
+
+    def test_missing_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_dict({})
+
+    def test_unknown_profile_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_dict({"leader_profile": {"kind": "warp"}})
+
+    def test_unknown_attack_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_dict(
+                {
+                    "leader_profile": {"kind": "constant", "acceleration": 0.0},
+                    "attack": {"kind": "emp", "start": 0.0},
+                }
+            )
+
+
+class TestCLIRunCustom:
+    def test_runs_spec_file(self, tmp_path):
+        path = save_scenario(fig2_scenario("dos"), tmp_path / "spec.json")
+        out = io.StringIO()
+        code = main(["run-custom", str(path)], out=out)
+        assert code == 0
+        assert "detection at k = 182 s" in out.getvalue()
+
+    def test_bad_file_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        out = io.StringIO()
+        assert main(["run-custom", str(bad)], out=out) == 2

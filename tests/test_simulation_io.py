@@ -1,0 +1,64 @@
+"""Result persistence (repro.simulation.io)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro import fig2_scenario, run_single
+from repro.simulation.io import export_csv, export_json, load_json
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_single(fig2_scenario("dos", horizon=60.0), defended=True)
+
+
+class TestCSVExport:
+    def test_writes_rectangular_table(self, result, tmp_path):
+        path = export_csv(result, tmp_path / "run.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "time"
+        assert "true_distance" in header
+        assert len(data) == len(result.times)
+        assert all(len(row) == len(header) for row in data)
+
+    def test_values_match_traces(self, result, tmp_path):
+        path = export_csv(result, tmp_path / "run.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        header = rows[0]
+        column = header.index("follower_velocity")
+        values = np.array([float(row[column]) for row in rows[1:]])
+        assert np.allclose(values, result.array("follower_velocity"))
+
+
+class TestJSONRoundTrip:
+    def test_metadata_preserved(self, result, tmp_path):
+        path = export_json(result, tmp_path / "run.json")
+        loaded = load_json(path)
+        assert loaded.name == result.name
+        assert loaded.attack_name == result.attack_name
+        assert loaded.defended == result.defended
+        assert loaded.collision_time == result.collision_time
+
+    def test_traces_preserved(self, result, tmp_path):
+        loaded = load_json(export_json(result, tmp_path / "run.json"))
+        assert set(loaded.traces) == set(result.traces)
+        for name in result.traces:
+            assert np.allclose(loaded.array(name), result.array(name))
+
+    def test_detection_events_preserved(self, result, tmp_path):
+        loaded = load_json(export_json(result, tmp_path / "run.json"))
+        assert len(loaded.detection_events) == len(result.detection_events)
+        for a, b in zip(loaded.detection_events, result.detection_events):
+            assert a.time == b.time
+            assert a.attack_detected == b.attack_detected
+
+    def test_derived_metrics_survive(self, result, tmp_path):
+        loaded = load_json(export_json(result, tmp_path / "run.json"))
+        assert loaded.min_gap() == pytest.approx(result.min_gap())
+        assert loaded.detection_times == result.detection_times
+        assert loaded.summary().as_dict() == result.summary().as_dict()

@@ -1,0 +1,91 @@
+"""Shared typed containers (repro.types)."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    DetectionEvent,
+    RadarMeasurement,
+    SensorStatus,
+    TimeSeries,
+)
+
+
+class TestRadarMeasurement:
+    def test_zero_output(self):
+        m = RadarMeasurement(time=1.0, distance=0.0, relative_velocity=0.0)
+        assert m.is_zero_output(1e-9)
+
+    def test_nonzero_output(self):
+        m = RadarMeasurement(time=1.0, distance=50.0, relative_velocity=0.0)
+        assert not m.is_zero_output(1e-9)
+
+    def test_small_velocity_breaks_zeroness(self):
+        m = RadarMeasurement(time=1.0, distance=0.0, relative_velocity=0.5)
+        assert not m.is_zero_output(1e-3)
+        assert m.is_zero_output(1.0)
+
+    def test_default_status(self):
+        m = RadarMeasurement(time=0.0, distance=1.0, relative_velocity=0.0)
+        assert m.status is SensorStatus.NOMINAL
+
+    def test_frozen(self):
+        m = RadarMeasurement(time=0.0, distance=1.0, relative_velocity=0.0)
+        with pytest.raises(AttributeError):
+            m.distance = 2.0
+
+
+class TestTimeSeries:
+    def test_append_and_length(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_rejects_out_of_order(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 2.0)
+
+    def test_allows_equal_times(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_as_arrays(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 4.0)
+        t, v = ts.as_arrays()
+        assert np.array_equal(t, [0.0, 1.0])
+        assert np.array_equal(v, [1.0, 4.0])
+
+    def test_value_at(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        ts.append(2.0, 9.0)
+        assert ts.value_at(2.0) == 9.0
+
+    def test_value_at_missing_raises(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        with pytest.raises(KeyError):
+            ts.value_at(5.0)
+
+    def test_window(self):
+        ts = TimeSeries("x")
+        for k in range(10):
+            ts.append(float(k), float(k * k))
+        sub = ts.window(3.0, 6.0)
+        assert sub.times == [3.0, 4.0, 5.0, 6.0]
+        assert sub.values == [9.0, 16.0, 25.0, 36.0]
+
+
+class TestDetectionEvent:
+    def test_fields(self):
+        event = DetectionEvent(time=182.0, attack_detected=True, receiver_output=40.0)
+        assert event.time == 182.0
+        assert event.attack_detected
+        assert event.receiver_output == 40.0

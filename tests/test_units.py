@@ -1,0 +1,86 @@
+"""Unit-conversion helpers (repro.units)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestSpeedConversions:
+    def test_paper_leader_speed(self):
+        # 65 mph is the paper's leader initial speed.
+        assert units.mph_to_mps(65.0) == pytest.approx(29.0576, abs=1e-3)
+
+    def test_paper_set_speed(self):
+        assert units.mph_to_mps(67.0) == pytest.approx(29.9517, abs=1e-3)
+
+    def test_zero(self):
+        assert units.mph_to_mps(0.0) == 0.0
+        assert units.mps_to_mph(0.0) == 0.0
+
+    @given(st.floats(min_value=-500.0, max_value=500.0))
+    def test_round_trip(self, speed):
+        assert units.mps_to_mph(units.mph_to_mps(speed)) == pytest.approx(
+            speed, abs=1e-9
+        )
+
+
+class TestDecibelConversions:
+    def test_known_values(self):
+        assert units.db_to_linear(0.0) == 1.0
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+        assert units.db_to_linear(3.0) == pytest.approx(1.9953, abs=1e-3)
+
+    def test_paper_antenna_gain(self):
+        # G = 28 dBi.
+        assert units.db_to_linear(28.0) == pytest.approx(630.957, abs=1e-2)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_round_trip(self, db):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(
+            db, abs=1e-9
+        )
+
+
+class TestPowerConversions:
+    def test_dbm(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert units.watts_to_dbm(10e-3) == pytest.approx(10.0)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+
+class TestScalePrefixes:
+    def test_frequency(self):
+        assert units.mhz(150.0) == 150e6
+        assert units.ghz(77.0) == 77e9
+        assert units.khz(1.0) == 1e3
+
+    def test_lengths_and_times(self):
+        assert units.millimeters(3.89) == pytest.approx(3.89e-3)
+        assert units.milliseconds(2.0) == pytest.approx(2e-3)
+        assert units.microseconds(5.0) == pytest.approx(5e-6)
+
+    def test_nanoseconds(self):
+        assert units.seconds_to_nanoseconds(1.2e-2) == pytest.approx(1.2e7)
+        assert units.nanoseconds_to_seconds(1.2e7) == pytest.approx(1.2e-2)
+
+    def test_speed_of_light(self):
+        assert units.SPEED_OF_LIGHT == 299_792_458.0
+
+    def test_wavelength_matches_carrier(self):
+        # The paper's 3.89 mm wavelength is c / 77 GHz.
+        assert units.SPEED_OF_LIGHT / units.ghz(77.0) == pytest.approx(
+            units.millimeters(3.89), rel=1e-3
+        )

@@ -1,0 +1,183 @@
+"""ACC upper/lower controllers (repro.vehicle) — paper Eqns 12-14."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.units import mph_to_mps
+from repro.vehicle import (
+    ACCParameters,
+    ACCSystem,
+    ControlMode,
+    LowerLevelController,
+    UpperLevelController,
+)
+
+PARAMS = ACCParameters()
+
+
+class TestACCParameters:
+    def test_paper_values(self):
+        assert PARAMS.headway_time == 3.0
+        assert PARAMS.standstill_distance == 5.0
+        assert PARAMS.system_gain == 1.0
+        assert PARAMS.time_constant == pytest.approx(1.008)
+        assert PARAMS.set_speed == pytest.approx(mph_to_mps(67.0))
+
+    def test_eqn12_desired_distance(self):
+        # d_des = d0 + τ_h v_F.
+        assert PARAMS.desired_distance(10.0) == pytest.approx(5.0 + 30.0)
+        assert PARAMS.desired_distance(0.0) == 5.0
+
+    def test_desired_distance_clamps_negative_speed(self):
+        assert PARAMS.desired_distance(-5.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ACCParameters(headway_time=0.0)
+        with pytest.raises(ConfigurationError):
+            ACCParameters(time_constant=-1.0)
+        with pytest.raises(ConfigurationError):
+            ACCParameters(max_acceleration=-1.0)
+        with pytest.raises(ConfigurationError):
+            ACCParameters(min_acceleration=1.0)
+        with pytest.raises(ConfigurationError):
+            ACCParameters(coast_deceleration=0.5)
+
+    def test_with_overrides(self):
+        p = PARAMS.with_overrides(headway_time=2.0)
+        assert p.headway_time == 2.0
+        assert p.standstill_distance == PARAMS.standstill_distance
+
+
+class TestUpperLevelController:
+    def setup_method(self):
+        self.ctrl = UpperLevelController(PARAMS)
+
+    def test_no_target_is_speed_mode(self):
+        out = self.ctrl.compute(follower_speed=20.0, measurement=None)
+        assert out.mode is ControlMode.SPEED
+        assert out.desired_acceleration > 0.0  # below set speed
+
+    def test_speed_mode_brakes_above_set_speed(self):
+        out = self.ctrl.compute(PARAMS.set_speed + 5.0, None)
+        assert out.desired_acceleration < 0.0
+
+    def test_speed_mode_zero_at_set_speed(self):
+        out = self.ctrl.compute(PARAMS.set_speed, None)
+        assert out.desired_acceleration == pytest.approx(0.0)
+
+    def test_far_target_stays_speed_mode(self):
+        # Gap far above d_des: cruise governs.
+        out = self.ctrl.compute(20.0, (150.0, 0.0))
+        assert out.mode is ControlMode.SPEED
+
+    def test_close_target_switches_to_spacing(self):
+        # Gap below d_des = 5 + 3*20 = 65: spacing governs and brakes.
+        out = self.ctrl.compute(20.0, (40.0, -2.0))
+        assert out.mode is ControlMode.SPACING
+        assert out.desired_acceleration < 0.0
+        assert out.clearance_error == pytest.approx(40.0 - 65.0)
+
+    def test_spacing_command_is_cth_law(self):
+        # a = (Δd + λ_v Δv) / (τ_h K_L).
+        d, dv, vF = 50.0, -1.5, 15.0
+        command, d_des, clearance = self.ctrl.spacing_mode_command(vF, d, dv)
+        assert d_des == pytest.approx(50.0)
+        assert clearance == pytest.approx(0.0)
+        expected = (clearance + PARAMS.relative_velocity_weight * dv) / (
+            PARAMS.headway_time * PARAMS.system_gain
+        )
+        assert command == pytest.approx(expected)
+
+    def test_acceleration_saturated(self):
+        out = self.ctrl.compute(20.0, (1.0, -30.0))
+        assert out.desired_acceleration == PARAMS.min_acceleration
+        out = self.ctrl.compute(0.0, None)
+        assert out.desired_acceleration <= PARAMS.max_acceleration
+
+    def test_arbitration_picks_smaller_command(self):
+        # Target relaxed (spacing would accelerate hard) but cruise caps it.
+        out = self.ctrl.compute(PARAMS.set_speed, (500.0, 10.0))
+        assert out.mode is ControlMode.SPEED
+        assert out.desired_acceleration == pytest.approx(0.0)
+
+    def test_corrupted_larger_distance_underbrakes(self):
+        # The delay-attack mechanism: +6 m on the gap raises a_des.
+        honest = self.ctrl.compute(20.0, (55.0, -2.0)).desired_acceleration
+        spoofed = self.ctrl.compute(20.0, (61.0, -2.0)).desired_acceleration
+        assert spoofed > honest
+
+
+class TestLowerLevelController:
+    def test_positive_demand_uses_pedal(self):
+        ctrl = LowerLevelController(PARAMS)
+        split = ctrl.actuation_split(1.0)
+        assert split.pedal_acceleration > 0.0
+        assert split.brake_pressure == 0.0
+
+    def test_braking_demand_uses_brakes(self):
+        ctrl = LowerLevelController(PARAMS)
+        split = ctrl.actuation_split(-2.0)
+        assert split.pedal_acceleration == 0.0
+        assert split.brake_pressure > 0.0
+
+    def test_coast_band_needs_neither(self):
+        ctrl = LowerLevelController(PARAMS)
+        split = ctrl.actuation_split(PARAMS.coast_deceleration)
+        assert split.pedal_acceleration == 0.0
+        assert split.brake_pressure == 0.0
+
+    def test_brake_pressure_proportional(self):
+        ctrl = LowerLevelController(PARAMS)
+        p1 = ctrl.actuation_split(-1.0).brake_pressure
+        p2 = ctrl.actuation_split(-2.0).brake_pressure
+        assert p2 > p1
+
+    def test_split_respects_saturation(self):
+        ctrl = LowerLevelController(PARAMS)
+        split = ctrl.actuation_split(-100.0)
+        assert split.commanded_acceleration == PARAMS.min_acceleration
+
+    def test_step_tracks_lag(self):
+        ctrl = LowerLevelController(PARAMS)
+        accel = 0.0
+        for _ in range(30):
+            accel, _ = ctrl.step(-2.0)
+        assert accel == pytest.approx(-2.0, abs=1e-6)
+
+    def test_reset(self):
+        ctrl = LowerLevelController(PARAMS)
+        ctrl.step(2.0)
+        ctrl.reset()
+        assert ctrl.actual_acceleration == 0.0
+
+
+class TestACCSystem:
+    def test_step_produces_consistent_result(self):
+        acc = ACCSystem(PARAMS)
+        result = acc.step(20.0, (40.0, -2.0))
+        assert result.mode is ControlMode.SPACING
+        assert result.desired_acceleration < 0.0
+        assert result.actuation.brake_pressure > 0.0
+        # First-order lag: actual moves toward desired but lags.
+        assert result.actual_acceleration < 0.0
+        assert result.actual_acceleration > result.desired_acceleration
+
+    def test_converges_to_headway_equilibrium(self):
+        """Closed loop with a constant-speed leader settles at d_des."""
+        acc = ACCSystem(PARAMS)
+        leader_speed = 20.0
+        follower_speed = 22.0
+        gap = 80.0
+        for _ in range(300):
+            result = acc.step(follower_speed, (gap, leader_speed - follower_speed))
+            follower_speed = max(0.0, follower_speed + result.actual_acceleration)
+            gap += leader_speed - follower_speed
+        assert follower_speed == pytest.approx(leader_speed, abs=0.05)
+        assert gap == pytest.approx(PARAMS.desired_distance(follower_speed), abs=1.0)
+
+    def test_reset(self):
+        acc = ACCSystem(PARAMS)
+        acc.step(20.0, (40.0, -2.0))
+        acc.reset()
+        assert acc.actual_acceleration == 0.0

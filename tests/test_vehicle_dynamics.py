@@ -1,0 +1,203 @@
+"""Vehicle kinematics, longitudinal lag, IDM, leader profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vehicle import (
+    ACCParameters,
+    ConstantAccelerationProfile,
+    FirstOrderLongitudinalDynamics,
+    IDMParameters,
+    IntelligentDriverModel,
+    PiecewiseAccelerationProfile,
+    StopAndGoProfile,
+    VehicleState,
+    advance_state,
+)
+
+
+class TestVehicleState:
+    def test_rejects_negative_velocity(self):
+        with pytest.raises(ValueError):
+            VehicleState(position=0.0, velocity=-1.0)
+
+    def test_with_values(self):
+        s = VehicleState(position=1.0, velocity=2.0)
+        s2 = s.with_values(velocity=5.0)
+        assert s2.velocity == 5.0
+        assert s2.position == 1.0
+
+
+class TestAdvanceState:
+    def test_eqn15_eqn17(self):
+        # v[k+1] = v + aT; x[k+1] = x + vT + aT²/2.
+        s = advance_state(VehicleState(0.0, 10.0), acceleration=2.0, dt=1.0)
+        assert s.velocity == pytest.approx(12.0)
+        assert s.position == pytest.approx(11.0)
+
+    def test_standstill_clamp(self):
+        # Braking through zero stops at zero, position uses time-to-stop.
+        s = advance_state(VehicleState(0.0, 1.0), acceleration=-2.0, dt=1.0)
+        assert s.velocity == 0.0
+        assert s.position == pytest.approx(0.25)  # 1²/(2*2)
+
+    def test_stays_at_standstill(self):
+        s = advance_state(VehicleState(5.0, 0.0), acceleration=-1.0, dt=1.0)
+        assert s.velocity == 0.0
+        assert s.position == pytest.approx(5.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            advance_state(VehicleState(0.0, 1.0), 0.0, dt=0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=-5.0, max_value=3.0),
+    )
+    def test_property_velocity_never_negative(self, v0, a):
+        s = advance_state(VehicleState(0.0, v0), a, dt=1.0)
+        assert s.velocity >= 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=-5.0, max_value=3.0),
+    )
+    def test_property_position_never_decreases(self, v0, a):
+        # No reversing: the vehicle never moves backward.
+        s = advance_state(VehicleState(0.0, v0), a, dt=1.0)
+        assert s.position >= 0.0
+
+
+class TestFirstOrderLongitudinalDynamics:
+    def test_lag_converges_to_gain_times_command(self):
+        params = ACCParameters(system_gain=1.0, time_constant=1.008)
+        dyn = FirstOrderLongitudinalDynamics(params)
+        for _ in range(50):
+            dyn.step(1.5)
+        assert dyn.acceleration == pytest.approx(1.5, abs=1e-6)
+
+    def test_command_clamped(self):
+        params = ACCParameters()
+        dyn = FirstOrderLongitudinalDynamics(params)
+        assert dyn.clamp_command(100.0) == params.max_acceleration
+        assert dyn.clamp_command(-100.0) == params.min_acceleration
+
+    def test_single_step_fraction(self):
+        params = ACCParameters()
+        dyn = FirstOrderLongitudinalDynamics(params)
+        alpha, beta = dyn.lag_coefficients
+        dyn.step(1.0)
+        assert dyn.acceleration == pytest.approx(beta)
+
+    def test_reset(self):
+        dyn = FirstOrderLongitudinalDynamics(ACCParameters())
+        dyn.step(2.0)
+        dyn.reset(0.5)
+        assert dyn.acceleration == 0.5
+
+
+class TestIDM:
+    def test_free_road_accelerates_below_desired_speed(self):
+        idm = IntelligentDriverModel()
+        assert idm.acceleration(speed=10.0, gap=None, lead_speed=None) > 0.0
+
+    def test_free_road_zero_at_desired_speed(self):
+        idm = IntelligentDriverModel()
+        a = idm.acceleration(speed=idm.params.desired_speed, gap=None, lead_speed=None)
+        assert a == pytest.approx(0.0, abs=1e-9)
+
+    def test_small_gap_brakes(self):
+        idm = IntelligentDriverModel()
+        a = idm.acceleration(speed=20.0, gap=5.0, lead_speed=20.0)
+        assert a < 0.0
+
+    def test_closing_fast_brakes_harder(self):
+        idm = IntelligentDriverModel()
+        same_speed = idm.acceleration(speed=20.0, gap=30.0, lead_speed=20.0)
+        closing = idm.acceleration(speed=20.0, gap=30.0, lead_speed=10.0)
+        assert closing < same_speed
+
+    def test_overlap_demands_emergency_braking(self):
+        idm = IntelligentDriverModel()
+        a = idm.acceleration(speed=20.0, gap=0.0, lead_speed=20.0)
+        assert a <= -idm.params.comfortable_deceleration
+
+    def test_requires_lead_speed_with_gap(self):
+        idm = IntelligentDriverModel()
+        with pytest.raises(ValueError):
+            idm.acceleration(speed=10.0, gap=30.0, lead_speed=None)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            IntelligentDriverModel().acceleration(-1.0, None, None)
+
+    def test_desired_gap_grows_with_speed(self):
+        idm = IntelligentDriverModel()
+        assert idm.desired_gap(30.0, 0.0) > idm.desired_gap(10.0, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(Exception):
+            IDMParameters(desired_speed=0.0)
+        with pytest.raises(Exception):
+            IDMParameters(time_headway=-1.0)
+
+    def test_car_following_equilibrium(self):
+        """An IDM follower behind a constant-speed leader reaches a
+        steady gap with matched speed."""
+        idm = IntelligentDriverModel()
+        lead_speed = 20.0
+        speed, gap = 25.0, 100.0
+        for _ in range(2000):
+            a = idm.acceleration(speed, gap, lead_speed)
+            speed = max(0.0, speed + a * 0.1)
+            gap += (lead_speed - speed) * 0.1
+        assert speed == pytest.approx(lead_speed, abs=0.05)
+        assert gap > idm.params.minimum_gap
+
+
+class TestLeaderProfiles:
+    def test_constant(self):
+        p = ConstantAccelerationProfile(-0.1082)
+        assert p.acceleration(0.0) == -0.1082
+        assert p.acceleration(299.0) == -0.1082
+
+    def test_constant_with_delayed_start(self):
+        p = ConstantAccelerationProfile(-1.0, start_time=10.0)
+        assert p.acceleration(5.0) == 0.0
+        assert p.acceleration(10.0) == -1.0
+
+    def test_constant_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ConstantAccelerationProfile(1.0, start_time=-1.0)
+
+    def test_piecewise_paper_fig3(self):
+        p = PiecewiseAccelerationProfile([(0.0, -0.1082), (150.0, 0.012)])
+        assert p.acceleration(100.0) == -0.1082
+        assert p.acceleration(150.0) == 0.012
+        assert p.acceleration(299.0) == 0.012
+
+    def test_piecewise_zero_before_first_segment(self):
+        p = PiecewiseAccelerationProfile([(10.0, 1.0)])
+        assert p.acceleration(5.0) == 0.0
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseAccelerationProfile([])
+        with pytest.raises(ValueError):
+            PiecewiseAccelerationProfile([(10.0, 1.0), (5.0, 2.0)])
+        with pytest.raises(ValueError):
+            PiecewiseAccelerationProfile([(-1.0, 1.0)])
+
+    def test_stop_and_go_cycles(self):
+        p = StopAndGoProfile(
+            deceleration=1.0, acceleration=0.5, brake_time=10.0, go_time=20.0
+        )
+        assert p.acceleration(5.0) == -1.0
+        assert p.acceleration(15.0) == 0.5
+        assert p.acceleration(35.0) == -1.0  # next cycle
+
+    def test_stop_and_go_validation(self):
+        with pytest.raises(ValueError):
+            StopAndGoProfile(deceleration=0.0)
+        with pytest.raises(ValueError):
+            StopAndGoProfile(brake_time=0.0)
