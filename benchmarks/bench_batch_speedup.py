@@ -1,0 +1,88 @@
+"""Extension bench — throughput of the parallel batch-execution engine.
+
+Times the same 16-seed Monte-Carlo sweep (Figure 2a DoS, defended)
+serially and over a 4-worker process pool, asserting the engine's core
+contract: parallel results are *bit-identical* to serial, and on a
+machine with >= 4 usable cores the sweep completes >= 2x faster.
+
+On smaller containers the determinism check still runs and the
+measured timings are emitted, but the speedup floor is not asserted
+(there is nothing to parallelize onto).
+"""
+
+import os
+import time
+
+from conftest import emit
+from repro import fig2_scenario
+from repro.analysis import render_table
+from repro.simulation import RunSpec, execute_batch, run_monte_carlo
+
+SEEDS = tuple(range(16))
+WORKERS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+def _pool_available() -> bool:
+    """Probe whether a process pool actually runs here (cheap runs)."""
+    probe = execute_batch(
+        [RunSpec(fig2_scenario("dos", horizon=10.0)) for _ in range(2)],
+        workers=2,
+    )
+    return probe.parallel
+
+
+def bench_batch_speedup(benchmark):
+    scenario = fig2_scenario("dos")
+
+    def timed(workers):
+        start = time.perf_counter()
+        summary = run_monte_carlo(
+            scenario, SEEDS, defended=True, workers=workers
+        )
+        return summary, time.perf_counter() - start
+
+    def sweep():
+        serial, t_serial = timed(1)
+        parallel, t_parallel = timed(WORKERS)
+        return serial, parallel, t_serial, t_parallel
+
+    serial, parallel, t_serial, t_parallel = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    # The engine's determinism contract, independent of core count.
+    assert serial.outcomes == parallel.outcomes
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    if cpus >= WORKERS and _pool_available():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x speedup at {WORKERS} workers "
+            f"on {cpus} cores, measured {speedup:.2f}x"
+        )
+
+    emit(
+        "batch_speedup",
+        render_table(
+            [
+                {
+                    "configuration": f"workers={w}",
+                    "runs": len(SEEDS),
+                    "wall_s": round(t, 3),
+                    "runs_per_s": round(len(SEEDS) / t, 1) if t > 0 else None,
+                }
+                for w, t in ((1, t_serial), (WORKERS, t_parallel))
+            ]
+            + [
+                {
+                    "configuration": f"speedup ({cpus} cores)",
+                    "runs": len(SEEDS),
+                    "wall_s": None,
+                    "runs_per_s": round(speedup, 2),
+                }
+            ],
+            title="Batch engine: 16-seed Monte-Carlo sweep, serial vs "
+            f"{WORKERS}-worker pool (identical outcomes asserted)",
+        ),
+    )

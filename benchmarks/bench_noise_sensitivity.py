@@ -6,30 +6,54 @@ Two effects compound: noisier training data degrades the RLS leader
 model, and the uncertainty-aware safety margin grows with the residual
 variance — so the defense degrades *gracefully into conservatism*
 rather than into collisions.
+
+All (scale, seed, defended/baseline) runs are independent, so the
+sweep executes as one batch through :mod:`repro.simulation.batch`.
 """
 
 import numpy as np
 
-from conftest import emit
-from repro import fig2_scenario, run_single
+from conftest import bench_workers, emit
+from repro import fig2_scenario
 from repro.analysis import estimation_rmse, render_table
+from repro.simulation import RunSpec, run_many
 
 SEEDS = (2017, 7, 23)
 BASE_DISTANCE_STD = 0.25
 BASE_VELOCITY_STD = 0.12
+SCALES = (0.5, 1.0, 2.0, 4.0)
 
 
-def _evaluate(scale: float):
+def _specs():
+    """One defended + one attack-free baseline run per (scale, seed)."""
+    specs = []
+    for scale in SCALES:
+        for seed in SEEDS:
+            scenario = fig2_scenario(
+                "dos",
+                sensor_seed=seed,
+                distance_noise_std=BASE_DISTANCE_STD * scale,
+                velocity_noise_std=BASE_VELOCITY_STD * scale,
+            )
+            specs.append(
+                RunSpec(scenario, defended=True, tag=f"{scale}:{seed}:defended")
+            )
+            specs.append(
+                RunSpec(
+                    scenario,
+                    attack_enabled=False,
+                    defended=False,
+                    tag=f"{scale}:{seed}:baseline",
+                )
+            )
+    return specs
+
+
+def _row(scale: float, runs: dict):
     gaps, rmses, collisions, detections = [], [], 0, []
     for seed in SEEDS:
-        scenario = fig2_scenario(
-            "dos",
-            sensor_seed=seed,
-            distance_noise_std=BASE_DISTANCE_STD * scale,
-            velocity_noise_std=BASE_VELOCITY_STD * scale,
-        )
-        defended = run_single(scenario, defended=True)
-        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        defended = runs[f"{scale}:{seed}:defended"]
+        baseline = runs[f"{scale}:{seed}:baseline"]
         gaps.append(defended.min_gap())
         collisions += int(defended.collided)
         detections.extend(defended.detection_times[:1])
@@ -55,7 +79,10 @@ def _evaluate(scale: float):
 
 def bench_noise_sensitivity(benchmark):
     def sweep():
-        return [_evaluate(scale) for scale in (0.5, 1.0, 2.0, 4.0)]
+        specs = _specs()
+        results = run_many(specs, workers=bench_workers())
+        runs = {spec.tag: result for spec, result in zip(specs, results)}
+        return [_row(scale, runs) for scale in SCALES]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -7,10 +7,10 @@ reference, per follower) and shows that defending only the *attacked*
 vehicle contains the disturbance for the whole string.
 """
 
-from conftest import emit
+from conftest import bench_workers, emit
 from repro import AttackWindow, DoSJammingAttack
 from repro.analysis import render_table
-from repro.simulation import PlatoonScenario, PlatoonSimulation
+from repro.simulation import PlatoonScenario, RunSpec, run_many
 from repro.vehicle import ConstantAccelerationProfile
 
 N_FOLLOWERS = 4
@@ -28,11 +28,15 @@ def _scenario(defended=()):
 
 def bench_platoon_string_stability(benchmark):
     def run_all():
-        clean = PlatoonSimulation(_scenario(), attack_enabled=False).run()
-        attacked = PlatoonSimulation(_scenario(), attack_enabled=True).run()
-        defended = PlatoonSimulation(
-            _scenario(defended=(0,)), attack_enabled=True
-        ).run()
+        # The three platoon runs are independent — one batch.
+        clean, attacked, defended = run_many(
+            [
+                RunSpec(_scenario(), attack_enabled=False, tag="clean"),
+                RunSpec(_scenario(), attack_enabled=True, tag="attacked"),
+                RunSpec(_scenario(defended=(0,)), attack_enabled=True, tag="defended"),
+            ],
+            workers=bench_workers(),
+        )
         return clean, attacked, defended
 
     clean, attacked, defended = benchmark.pedantic(run_all, rounds=1, iterations=1)

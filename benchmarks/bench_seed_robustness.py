@@ -7,7 +7,7 @@ in every run, zero collisions defended, universal collision undefended
 (for the DoS panel).
 """
 
-from conftest import emit
+from conftest import bench_workers, emit
 from repro import fig2_scenario
 from repro.analysis import render_table
 from repro.simulation import run_monte_carlo
@@ -16,12 +16,18 @@ SEEDS = tuple(range(16))
 
 
 def bench_seed_robustness(benchmark):
+    workers = bench_workers()
+
     def sweep():
         rows = []
         for attack in ("dos", "delay"):
             scenario = fig2_scenario(attack)
-            defended = run_monte_carlo(scenario, SEEDS, defended=True)
-            undefended = run_monte_carlo(scenario, SEEDS, defended=False)
+            defended = run_monte_carlo(
+                scenario, SEEDS, defended=True, workers=workers
+            )
+            undefended = run_monte_carlo(
+                scenario, SEEDS, defended=False, workers=workers
+            )
             rows.append(defended.as_row(f"fig2 {attack} defended"))
             rows.append(undefended.as_row(f"fig2 {attack} undefended"))
         return rows

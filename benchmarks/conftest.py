@@ -16,6 +16,7 @@ DESIGN.md §5).  Output conventions:
 from __future__ import annotations
 
 import functools
+import os
 from pathlib import Path
 
 import numpy as np
@@ -25,6 +26,16 @@ from repro import run_figure_scenario
 from repro.analysis import ascii_plot, render_table
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_workers() -> int:
+    """Worker-process count for benches that fan out independent runs.
+
+    Serial by default so bench timings stay comparable run-to-run; set
+    ``REPRO_BENCH_WORKERS`` to parallelize (results are identical
+    either way — see :mod:`repro.simulation.batch`).
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
 def emit(name: str, text: str) -> None:

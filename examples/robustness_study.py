@@ -4,21 +4,32 @@
 Uses the Monte-Carlo harness to re-state the headline claims over many
 sensor-noise seeds and under injected sensor dropouts, then probes the
 trusted-ego-speed assumption with a miscalibrated speed sensor.
+
+The seed sweeps fan out over a process pool (``workers=``) through the
+unified ``repro.run()`` facade — results are identical to serial.
 """
 
+import os
+
+import repro
 from repro import fig2_scenario, run_single
 from repro.analysis import render_table
 from repro.simulation import run_monte_carlo
 
 SEEDS = range(12)
+WORKERS = min(4, os.cpu_count() or 1)
 
 
 def seed_sweep() -> None:
     rows = []
     for attack in ("dos", "delay"):
         for defended in (True, False):
-            summary = run_monte_carlo(
-                fig2_scenario(attack), SEEDS, defended=defended
+            summary = repro.run(
+                fig2_scenario(attack),
+                mode="monte_carlo",
+                seeds=SEEDS,
+                defended=defended,
+                workers=WORKERS,
             )
             rows.append(
                 summary.as_row(
@@ -33,7 +44,10 @@ def dropout_sweep() -> None:
     rows = []
     for rate in (0.0, 0.05, 0.10, 0.20):
         summary = run_monte_carlo(
-            fig2_scenario("dos", dropout_rate=rate), range(6), defended=True
+            fig2_scenario("dos", dropout_rate=rate),
+            range(6),
+            defended=True,
+            workers=WORKERS,
         )
         row = summary.as_row(f"dropout {rate:.0%}")
         rows.append(row)

@@ -17,12 +17,18 @@ The library implements, from scratch:
 
 Quickstart
 ----------
->>> from repro import fig2_scenario, run_figure_scenario
->>> data = run_figure_scenario(fig2_scenario("dos"))
+>>> from repro import fig2_scenario, run
+>>> data = run(fig2_scenario("dos"), mode="figure")
 >>> data.detection_time()
 182.0
 >>> data.defended.collided
 False
+
+:func:`repro.run` is the unified experiment facade (single runs,
+figure triples, Monte-Carlo sweeps, platoons) with a ``workers=``
+kwarg that fans independent runs out over a process pool; the
+historical entrypoints (``run_single``, ``run_figure_scenario``,
+``run_monte_carlo``) remain as thin aliases delegating to it.
 """
 
 from repro.core import (
@@ -89,18 +95,34 @@ from repro.vehicle import (
     VehicleState,
 )
 from repro.simulation import (
+    BatchResult,
     CarFollowingSimulation,
     DefenseConfig,
     FigureData,
+    MonteCarloSummary,
     PlatoonResult,
     PlatoonScenario,
     PlatoonSimulation,
+    RunRecord,
+    RunSpec,
     Scenario,
+    SeedOutcome,
     SimulationResult,
+    derive_seeds,
+    execute_batch,
     fig2_scenario,
     fig3_scenario,
     paper_challenge_times,
+    run_many,
+)
+
+# The unified facade and the historical entrypoints, which are thin
+# aliases delegating to it (see repro.facade).
+from repro.facade import (
+    run,
     run_figure_scenario,
+    run_monte_carlo,
+    run_platoon,
     run_single,
 )
 from repro.analysis import (
@@ -198,11 +220,23 @@ __all__ = [
     "fig2_scenario",
     "fig3_scenario",
     "paper_challenge_times",
+    "run",
     "run_figure_scenario",
     "run_single",
+    "run_monte_carlo",
+    "run_platoon",
+    "MonteCarloSummary",
+    "SeedOutcome",
     "PlatoonScenario",
     "PlatoonResult",
     "PlatoonSimulation",
+    # batch execution
+    "RunSpec",
+    "RunRecord",
+    "BatchResult",
+    "execute_batch",
+    "run_many",
+    "derive_seeds",
     # analysis
     "detection_latency",
     "detection_confusion",

@@ -210,9 +210,19 @@ REGISTRY: Tuple[Experiment, ...] = (
         title="Monte-Carlo robustness of the headline claims",
         paper_claim="",
         workload="16 sensor-noise seeds per fig2 configuration, "
-        "defended and undefended",
+        "defended and undefended, fanned out via the batch engine",
         bench="bench_seed_robustness.py",
-        modules=("simulation.monte_carlo", "core.pipeline"),
+        modules=("simulation.monte_carlo", "simulation.batch", "core.pipeline"),
+        kind="extension",
+    ),
+    Experiment(
+        identifier="batch-speedup",
+        title="Parallel batch-execution engine throughput",
+        paper_claim="",
+        workload="16-seed fig2a Monte-Carlo sweep, 1 vs 4 workers; "
+        "asserts bit-identical outcomes (and >=2x speedup on >=4 cores)",
+        bench="bench_batch_speedup.py",
+        modules=("simulation.batch", "simulation.monte_carlo"),
         kind="extension",
     ),
     Experiment(

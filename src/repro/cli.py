@@ -16,6 +16,10 @@ Commands
     Run all four figure panels and print the consolidated
     paper-vs-measured summary; ``--markdown PATH`` writes a live
     markdown report instead (``--seeds N`` adds a robustness section).
+
+``run``, ``run-custom`` and ``report`` accept ``--workers N`` to fan
+their independent runs out over a process pool (see
+:mod:`repro.simulation.batch`); output is identical to serial.
 """
 
 from __future__ import annotations
@@ -26,9 +30,22 @@ from typing import List, Optional
 
 from repro.analysis import ascii_plot, detection_confusion, render_table
 from repro.analysis.experiments import REGISTRY, experiments_table, get_experiment
-from repro.simulation import fig2_scenario, fig3_scenario, run_figure_scenario
+from repro.facade import run_figure_scenario
+from repro.simulation import fig2_scenario, fig3_scenario
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--workers``: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
 
 _FIGURE_FACTORIES = {
     "fig2a": lambda: fig2_scenario("dos"),
@@ -59,11 +76,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-plot", action="store_true", help="skip the ASCII figure"
     )
+    run_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the independent runs (default: serial)",
+    )
 
     custom_parser = subparsers.add_parser(
         "run-custom", help="run a scenario from a JSON spec file"
     )
     custom_parser.add_argument("spec", help="path to the scenario spec JSON")
+    custom_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the independent runs (default: serial)",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="run all figure panels and print the summary"
@@ -80,12 +109,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="extra sensor seeds for a robustness section (markdown only)",
     )
+    report_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the independent runs (default: serial)",
+    )
     return parser
 
 
-def _run_figure(identifier: str, seed: int, show_plot: bool, out) -> int:
+def _run_figure(
+    identifier: str, seed: int, show_plot: bool, out, workers: int = 1
+) -> int:
     scenario = _FIGURE_FACTORIES[identifier]().with_overrides(sensor_seed=seed)
-    data = run_figure_scenario(scenario)
+    data = run_figure_scenario(scenario, workers=workers)
     rows = [
         data.baseline.summary().as_dict(),
         data.attacked.summary().as_dict(),
@@ -140,11 +177,11 @@ def _run_figure(identifier: str, seed: int, show_plot: bool, out) -> int:
     return 0
 
 
-def _run_report(out) -> int:
+def _run_report(out, workers: int = 1) -> int:
     rows = []
     for identifier in ("fig2a", "fig2b", "fig3a", "fig3b"):
         scenario = _FIGURE_FACTORIES[identifier]()
-        data = run_figure_scenario(scenario)
+        data = run_figure_scenario(scenario, workers=workers)
         confusion = detection_confusion(
             data.defended.detection_events, scenario.attack
         )
@@ -189,7 +226,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(str(exc), file=out)
             return 2
         if args.experiment in _FIGURE_FACTORIES:
-            return _run_figure(args.experiment, args.seed, not args.no_plot, out)
+            return _run_figure(
+                args.experiment, args.seed, not args.no_plot, out, args.workers
+            )
         print(
             f"{experiment.identifier} is regenerated by its benchmark:\n"
             f"  pytest benchmarks/{experiment.bench} --benchmark-only",
@@ -205,7 +244,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         except Exception as exc:  # surface any spec problem as exit code 2
             print(f"could not load {args.spec}: {exc}", file=out)
             return 2
-        data = run_figure_scenario(scenario)
+        data = run_figure_scenario(scenario, workers=args.workers)
         rows = [
             data.baseline.summary().as_dict(),
             data.attacked.summary().as_dict(),
@@ -226,10 +265,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             from repro.analysis.report import build_report
 
             seeds = list(range(args.seeds)) if args.seeds else None
-            Path(args.markdown).write_text(build_report(seeds=seeds))
+            Path(args.markdown).write_text(
+                build_report(seeds=seeds, workers=args.workers)
+            )
             print(f"wrote {args.markdown}", file=out)
             return 0
-        return _run_report(out)
+        return _run_report(out, args.workers)
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

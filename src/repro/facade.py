@@ -1,0 +1,202 @@
+"""Unified experiment facade: ``repro.run()``.
+
+Historically the library grew one runner per experiment shape —
+``run_single`` (one closed-loop run), ``run_figure_scenario`` (the
+baseline / attacked / defended triple a figure panel overlays),
+``run_monte_carlo`` (a seed sweep) and ``PlatoonSimulation`` (the
+N-follower chain).  :func:`run` puts them behind one entrypoint:
+
+>>> import repro
+>>> result = repro.run(repro.fig2_scenario("dos"))                # single
+>>> data = repro.run(repro.fig2_scenario("dos"), mode="figure")   # triple
+>>> mc = repro.run(repro.fig2_scenario("dos"), mode="monte_carlo",
+...                seeds=range(16), workers=4)                    # sweep
+
+Accepted inputs
+---------------
+``scenario_or_spec`` may be:
+
+* a :class:`~repro.simulation.scenario.Scenario` (modes ``"single"``,
+  ``"figure"``, ``"monte_carlo"``);
+* a :class:`~repro.simulation.platoon.PlatoonScenario` (mode
+  ``"platoon"``, selected automatically);
+* a ``dict`` in the declarative spec format of
+  :mod:`repro.simulation.spec`;
+* a path (``str`` / ``pathlib.Path``) to a JSON spec file.
+
+Overrides
+---------
+To vary a scenario, derive it first:
+``scenario.with_overrides(sensor_seed=7, horizon=250.0)`` returns a
+copy with the given fields replaced — the facade deliberately takes a
+finished scenario rather than a bag of kwargs.
+
+Parallelism
+-----------
+``workers`` fans independent runs (the figure triple, Monte-Carlo
+seeds) out over a process pool via :mod:`repro.simulation.batch`;
+results are bit-identical to ``workers=1``.  Modes with a single run
+ignore it.
+
+The pre-existing names (``run_single``, ``run_figure_scenario``,
+``run_monte_carlo``, ``run_platoon``) remain as thin aliases that
+delegate here, so existing imports keep working unchanged; prefer
+:func:`run` in new code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+from repro.simulation import batch as _batch
+from repro.simulation import monte_carlo as _monte_carlo
+from repro.simulation import platoon as _platoon
+from repro.simulation import runner as _runner
+from repro.simulation.monte_carlo import MonteCarloSummary
+from repro.simulation.platoon import PlatoonResult, PlatoonScenario
+from repro.simulation.results import SimulationResult
+from repro.simulation.runner import FigureData
+from repro.simulation.scenario import Scenario
+
+__all__ = [
+    "run",
+    "run_single",
+    "run_figure_scenario",
+    "run_monte_carlo",
+    "run_platoon",
+]
+
+_MODES = ("single", "figure", "monte_carlo", "platoon")
+
+
+def _resolve_scenario(
+    scenario_or_spec: Any,
+) -> Union[Scenario, PlatoonScenario]:
+    """Accept a scenario object, a spec dict, or a spec-file path."""
+    if isinstance(scenario_or_spec, (Scenario, PlatoonScenario)):
+        return scenario_or_spec
+    if isinstance(scenario_or_spec, dict):
+        from repro.simulation.spec import scenario_from_dict
+
+        return scenario_from_dict(scenario_or_spec)
+    if isinstance(scenario_or_spec, (str, Path)):
+        from repro.simulation.spec import load_scenario
+
+        return load_scenario(scenario_or_spec)
+    raise ConfigurationError(
+        "scenario_or_spec must be a Scenario, PlatoonScenario, spec dict "
+        f"or spec path, got {type(scenario_or_spec).__name__}"
+    )
+
+
+def run(
+    scenario_or_spec: Any,
+    *,
+    mode: str = "single",
+    workers: int = 1,
+    seeds: Union[int, Sequence[int], None] = None,
+    attack_enabled: bool = True,
+    defended: bool = True,
+) -> Union[SimulationResult, FigureData, MonteCarloSummary, PlatoonResult]:
+    """Run an experiment described by a scenario or a declarative spec.
+
+    Parameters
+    ----------
+    scenario_or_spec:
+        A :class:`Scenario` / :class:`PlatoonScenario`, a spec dict, or
+        a path to a JSON spec file.  Use
+        :meth:`Scenario.with_overrides` to vary fields before running.
+    mode:
+        * ``"single"`` — one closed-loop run → :class:`SimulationResult`.
+        * ``"figure"`` — the (baseline, attacked, defended) triple →
+          :class:`FigureData`.
+        * ``"monte_carlo"`` — a seed sweep → :class:`MonteCarloSummary`;
+          requires ``seeds``.
+        * ``"platoon"`` — the N-follower chain → :class:`PlatoonResult`;
+          selected automatically for :class:`PlatoonScenario` inputs.
+    workers:
+        Process count for modes with independent runs (``"figure"``,
+        ``"monte_carlo"``); results are identical to ``workers=1``.
+    seeds:
+        Monte-Carlo seeds: an explicit sequence, or an ``int`` N to
+        derive N seeds deterministically from the scenario's
+        ``sensor_seed`` (via :func:`repro.simulation.derive_seeds`).
+    attack_enabled, defended:
+        Run toggles for ``"single"`` and ``"monte_carlo"`` (the figure
+        triple runs all combinations; platoon defense is configured on
+        the scenario itself).
+    """
+    scenario = _resolve_scenario(scenario_or_spec)
+
+    if isinstance(scenario, PlatoonScenario) and mode == "single":
+        mode = "platoon"
+    if mode not in _MODES:
+        raise ConfigurationError(
+            f"mode must be one of {', '.join(_MODES)}; got {mode!r}"
+        )
+    if isinstance(scenario, PlatoonScenario) != (mode == "platoon"):
+        raise ConfigurationError(
+            f"mode {mode!r} does not fit scenario type "
+            f"{type(scenario).__name__}"
+        )
+
+    if mode == "single":
+        return _runner.run_single(
+            scenario, attack_enabled=attack_enabled, defended=defended
+        )
+    if mode == "figure":
+        return _runner.run_figure_scenario(scenario, workers=workers)
+    if mode == "monte_carlo":
+        if seeds is None:
+            raise ConfigurationError("mode='monte_carlo' requires seeds")
+        if isinstance(seeds, int):
+            seeds = _batch.derive_seeds(scenario.sensor_seed, seeds)
+        return _monte_carlo.run_monte_carlo(
+            scenario,
+            seeds,
+            attack_enabled=attack_enabled,
+            defended=defended,
+            workers=workers,
+        )
+    return _platoon.run_platoon(scenario, attack_enabled=attack_enabled)
+
+
+def run_single(
+    scenario: Scenario, attack_enabled: bool = True, defended: bool = True
+) -> SimulationResult:
+    """Alias for ``run(scenario, mode='single', ...)`` (original API)."""
+    return run(
+        scenario, mode="single", attack_enabled=attack_enabled, defended=defended
+    )
+
+
+def run_figure_scenario(scenario: Scenario, *, workers: int = 1) -> FigureData:
+    """Alias for ``run(scenario, mode='figure', ...)`` (original API)."""
+    return run(scenario, mode="figure", workers=workers)
+
+
+def run_monte_carlo(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    attack_enabled: bool = True,
+    defended: bool = True,
+    workers: int = 1,
+) -> MonteCarloSummary:
+    """Alias for ``run(scenario, mode='monte_carlo', ...)`` (original API)."""
+    return run(
+        scenario,
+        mode="monte_carlo",
+        seeds=seeds,
+        attack_enabled=attack_enabled,
+        defended=defended,
+        workers=workers,
+    )
+
+
+def run_platoon(
+    scenario: PlatoonScenario, attack_enabled: bool = True
+) -> PlatoonResult:
+    """Alias for ``run(scenario, mode='platoon', ...)``."""
+    return run(scenario, mode="platoon", attack_enabled=attack_enabled)

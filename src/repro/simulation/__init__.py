@@ -8,6 +8,8 @@
 * :mod:`repro.simulation.results` — trace containers and summaries.
 * :mod:`repro.simulation.runner` — convenience drivers that run the
   (baseline / attacked / defended) triple each figure plots.
+* :mod:`repro.simulation.batch` — parallel batch execution of
+  independent runs (the substrate behind every ``workers=`` kwarg).
 """
 
 from repro.simulation.scenario import (
@@ -20,7 +22,20 @@ from repro.simulation.scenario import (
 from repro.simulation.engine import CarFollowingSimulation
 from repro.simulation.results import SimulationResult, ResultSummary
 from repro.simulation.runner import FigureData, run_figure_scenario, run_single
-from repro.simulation.platoon import PlatoonScenario, PlatoonResult, PlatoonSimulation
+from repro.simulation.platoon import (
+    PlatoonScenario,
+    PlatoonResult,
+    PlatoonSimulation,
+    run_platoon,
+)
+from repro.simulation.batch import (
+    BatchResult,
+    RunRecord,
+    RunSpec,
+    derive_seeds,
+    execute_batch,
+    run_many,
+)
 from repro.simulation.io import export_csv, export_json, load_json
 from repro.simulation.spec import (
     load_scenario,
@@ -49,6 +64,13 @@ __all__ = [
     "PlatoonScenario",
     "PlatoonResult",
     "PlatoonSimulation",
+    "run_platoon",
+    "RunSpec",
+    "RunRecord",
+    "BatchResult",
+    "execute_batch",
+    "run_many",
+    "derive_seeds",
     "export_csv",
     "export_json",
     "load_json",

@@ -1,0 +1,287 @@
+"""Parallel batch execution of independent simulation runs.
+
+Every sweep in the repository — Monte-Carlo seed robustness, the
+(baseline / attacked / defended) figure triple, platoon comparisons,
+noise-sensitivity grids — is a set of *independent* closed-loop runs.
+This module is the one substrate they all fan out through:
+
+* :class:`RunSpec` describes one run (a car-following
+  :class:`~repro.simulation.scenario.Scenario` or a
+  :class:`~repro.simulation.platoon.PlatoonScenario`, plus the
+  attack/defense toggles);
+* :func:`execute_batch` distributes a list of specs over a
+  ``ProcessPoolExecutor`` in chunks and returns ordered, structured
+  :class:`RunRecord` entries (payload, wall-clock, worker pid, error);
+* :func:`run_many` is the convenience wrapper returning just the
+  payloads.
+
+Determinism is by construction: each spec carries its full
+configuration (including ``sensor_seed``), so a run's result does not
+depend on which worker executes it or in what order — ``workers=4``
+output is bit-identical to ``workers=1``.  :func:`derive_seeds` offers
+a deterministic way to expand one base seed into per-run seeds.
+
+``workers=1`` (the default) executes serially in-process with zero
+overhead; if the platform cannot spawn a process pool (restricted
+sandboxes, missing ``/dev/shm``, ...) the batch silently degrades to
+the serial path and records ``parallel=False``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import CarFollowingSimulation
+from repro.simulation.platoon import PlatoonScenario, PlatoonSimulation
+from repro.simulation.scenario import Scenario
+
+__all__ = [
+    "RunSpec",
+    "RunRecord",
+    "BatchResult",
+    "execute_batch",
+    "run_many",
+    "derive_seeds",
+]
+
+#: A worker-side reducer applied to (spec, raw result) before the
+#: payload travels back to the parent — must be a picklable callable
+#: (module-level function) when ``workers > 1``.
+Postprocess = Callable[["RunSpec", Any], Any]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run.
+
+    Attributes
+    ----------
+    scenario:
+        A :class:`Scenario` (two-vehicle engine) or a
+        :class:`PlatoonScenario` (N-follower engine).
+    attack_enabled:
+        Whether the scenario's attack is active.
+    defended:
+        Whether the CRA+RLS defense runs.  Platoon scenarios configure
+        defense per-follower via ``defended_followers`` instead; the
+        flag is ignored for them.
+    tag:
+        Caller-chosen label carried through to the :class:`RunRecord`
+        (useful for regrouping sweep results).
+    """
+
+    scenario: Union[Scenario, PlatoonScenario]
+    attack_enabled: bool = True
+    defended: bool = True
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Structured outcome of one executed :class:`RunSpec`.
+
+    ``payload`` is the simulation result (or the postprocessed value)
+    and is ``None`` when the run raised; ``error`` then holds the
+    exception rendered as ``"ExcType: message"``.
+    """
+
+    index: int
+    tag: str
+    payload: Any
+    elapsed: float
+    worker_pid: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Ordered records of a batch plus execution metadata.
+
+    ``workers`` is the worker count actually used; ``parallel`` tells
+    whether a process pool ran the batch (``False`` for the serial
+    path, including pool-unavailable fallback).
+    """
+
+    records: Tuple[RunRecord, ...]
+    workers: int
+    parallel: bool
+    elapsed: float
+
+    def payloads(self) -> List[Any]:
+        """The per-run payloads, in submission order."""
+        return [record.payload for record in self.records]
+
+    def raise_on_error(self) -> "BatchResult":
+        """Raise :class:`SimulationError` if any run failed."""
+        failed = [record for record in self.records if not record.ok]
+        if failed:
+            first = failed[0]
+            raise SimulationError(
+                f"{len(failed)}/{len(self.records)} batch runs failed; "
+                f"first failure (index {first.index}, tag {first.tag!r}): "
+                f"{first.error}"
+            )
+        return self
+
+
+def derive_seeds(base_seed: int, n: int) -> Tuple[int, ...]:
+    """Expand one base seed into ``n`` decorrelated per-run seeds.
+
+    Deterministic in ``(base_seed, n)`` and independent of execution
+    order, so serial and parallel sweeps see the same seed list.  Built
+    on :class:`numpy.random.SeedSequence`, whose spawn tree guarantees
+    the derived streams are pairwise independent.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    state = np.random.SeedSequence(int(base_seed)).generate_state(n, np.uint32)
+    return tuple(int(word) for word in state)
+
+
+def _execute_spec(
+    item: Tuple[int, RunSpec], postprocess: Optional[Postprocess] = None
+) -> RunRecord:
+    """Run one spec (in a worker or inline) and capture the outcome."""
+    index, spec = item
+    start = time.perf_counter()
+    try:
+        if isinstance(spec.scenario, PlatoonScenario):
+            result: Any = PlatoonSimulation(
+                spec.scenario, attack_enabled=spec.attack_enabled
+            ).run()
+        else:
+            result = CarFollowingSimulation(
+                spec.scenario,
+                attack_enabled=spec.attack_enabled,
+                defended=spec.defended,
+            ).run()
+        payload = result if postprocess is None else postprocess(spec, result)
+        error = None
+    except Exception as exc:  # captured into the record, re-raised by callers
+        payload = None
+        error = f"{type(exc).__name__}: {exc}"
+    return RunRecord(
+        index=index,
+        tag=spec.tag,
+        payload=payload,
+        elapsed=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+        error=error,
+    )
+
+
+def _default_chunksize(n_specs: int, workers: int) -> int:
+    """Chunk so each worker sees ~4 chunks (amortizes IPC, keeps the
+    tail balanced when run times vary)."""
+    return max(1, n_specs // (workers * 4))
+
+
+def _run_serial(
+    items: Sequence[Tuple[int, RunSpec]], postprocess: Optional[Postprocess]
+) -> List[RunRecord]:
+    return [_execute_spec(item, postprocess) for item in items]
+
+
+def execute_batch(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    postprocess: Optional[Postprocess] = None,
+) -> BatchResult:
+    """Execute independent runs, fanning out over a process pool.
+
+    Parameters
+    ----------
+    specs:
+        The runs; results come back in the same order.
+    workers:
+        Process count.  ``1`` (default) runs serially in-process; more
+        than ``len(specs)`` is clamped.
+    chunksize:
+        Specs handed to a worker per dispatch; defaults to
+        ``len(specs) // (workers * 4)`` (at least 1).
+    postprocess:
+        Optional reducer ``(spec, result) -> payload`` applied worker-
+        side — use a module-level function so it pickles; lets sweeps
+        return small summaries instead of full trace containers.
+
+    Errors inside a run are captured per-record (``RunRecord.error``);
+    call :meth:`BatchResult.raise_on_error` to surface them.  If the
+    pool itself cannot be created or breaks (restricted sandbox), the
+    batch transparently re-runs serially.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    items = list(enumerate(specs))
+    if not items:
+        return BatchResult(records=(), workers=workers, parallel=False, elapsed=0.0)
+
+    start = time.perf_counter()
+    effective = min(workers, len(items))
+    if effective == 1:
+        records = _run_serial(items, postprocess)
+        return BatchResult(
+            records=tuple(records),
+            workers=1,
+            parallel=False,
+            elapsed=time.perf_counter() - start,
+        )
+
+    try:
+        import functools
+        from concurrent.futures import ProcessPoolExecutor
+
+        call = functools.partial(_execute_spec, postprocess=postprocess)
+        with ProcessPoolExecutor(max_workers=effective) as pool:
+            records = list(
+                pool.map(
+                    call,
+                    items,
+                    chunksize=chunksize or _default_chunksize(len(items), effective),
+                )
+            )
+        parallel = True
+    except Exception:
+        # Pool unavailable or broken (sandboxed /dev/shm, fork limits,
+        # unpicklable payloads, ...): degrade to the serial path, which
+        # by construction produces identical results.
+        records = _run_serial(items, postprocess)
+        effective = 1
+        parallel = False
+    return BatchResult(
+        records=tuple(records),
+        workers=effective,
+        parallel=parallel,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    postprocess: Optional[Postprocess] = None,
+) -> List[Any]:
+    """Execute a batch and return just the ordered payloads.
+
+    Raises :class:`SimulationError` if any run failed.
+    """
+    return (
+        execute_batch(
+            specs, workers=workers, chunksize=chunksize, postprocess=postprocess
+        )
+        .raise_on_error()
+        .payloads()
+    )

@@ -5,6 +5,12 @@ stochastic defense need distributions.  This module runs a scenario
 configuration over many seeds and aggregates the safety and detection
 metrics — the utility behind the seed-robustness claims in
 EXPERIMENTS.md.
+
+Runs are independent, so the sweep fans out through
+:mod:`repro.simulation.batch`: ``run_monte_carlo(..., workers=4)``
+distributes the seeds over a process pool and returns results
+bit-identical to the serial path (each run is fully determined by its
+seeded scenario, not by scheduling).
 """
 
 from __future__ import annotations
@@ -15,7 +21,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.metrics import detection_latency
-from repro.simulation.engine import CarFollowingSimulation
+from repro.simulation.batch import RunSpec, run_many
+from repro.simulation.results import SimulationResult
 from repro.simulation.scenario import Scenario
 
 __all__ = ["SeedOutcome", "MonteCarloSummary", "run_monte_carlo"]
@@ -37,10 +44,12 @@ class MonteCarloSummary:
     """Aggregate over all seeded runs.
 
     ``detection_rate`` counts runs whose attack (if any) was detected;
-    it is ``None`` for attack-free configurations.
+    it is ``None`` for attack-free configurations (``attacked=False``),
+    where "fraction of attacks detected" is undefined.
     """
 
     outcomes: Sequence[SeedOutcome]
+    attacked: bool = True
 
     @property
     def n_runs(self) -> int:
@@ -60,6 +69,8 @@ class MonteCarloSummary:
 
     @property
     def detection_rate(self) -> Optional[float]:
+        if not self.attacked:
+            return None
         detected = [o.detection_time is not None for o in self.outcomes]
         if not detected:
             return None
@@ -72,7 +83,11 @@ class MonteCarloSummary:
         ]
 
     def as_row(self, label: str) -> dict:
-        """Flat dict for :func:`repro.analysis.tables.render_table`."""
+        """Flat dict for :func:`repro.analysis.tables.render_table`.
+
+        Attack-free configurations carry ``detection_rate=None``, which
+        the table renderer prints as ``-``.
+        """
         times = self.detection_times
         return {
             "configuration": label,
@@ -87,39 +102,57 @@ class MonteCarloSummary:
         }
 
 
+def _seed_outcome(spec: RunSpec, result: SimulationResult) -> SeedOutcome:
+    """Reduce a full simulation result to its seed outcome.
+
+    Runs worker-side (see :mod:`repro.simulation.batch`), so only the
+    small outcome record crosses the process boundary, not the traces.
+    """
+    scenario = spec.scenario
+    attack = scenario.attack if spec.attack_enabled else None
+    detections = result.detection_times
+    latency = (
+        detection_latency(result, attack)
+        if attack is not None and detections
+        else None
+    )
+    return SeedOutcome(
+        seed=scenario.sensor_seed,
+        min_gap=result.min_gap(),
+        collided=result.collided,
+        detection_time=detections[0] if detections else None,
+        detection_latency=latency,
+    )
+
+
 def run_monte_carlo(
     scenario: Scenario,
     seeds: Sequence[int],
     attack_enabled: bool = True,
     defended: bool = True,
+    workers: int = 1,
 ) -> MonteCarloSummary:
     """Run ``scenario`` once per seed and aggregate the outcomes.
 
     Only the sensor seed varies between runs; everything else (attack
     timing, challenge schedule, defense configuration) is held fixed.
+    ``workers`` fans the independent runs out over a process pool
+    (serial when 1); the aggregated outcomes are identical either way.
     """
+    seeds = list(seeds)
     if not seeds:
         raise ValueError("at least one seed is required")
-    outcomes: List[SeedOutcome] = []
-    for seed in seeds:
-        seeded = scenario.with_overrides(sensor_seed=int(seed))
-        result = CarFollowingSimulation(
-            seeded, attack_enabled=attack_enabled, defended=defended
-        ).run()
-        attack = seeded.attack if attack_enabled else None
-        detections = result.detection_times
-        latency = (
-            detection_latency(result, attack)
-            if attack is not None and detections
-            else None
+    specs = [
+        RunSpec(
+            scenario=scenario.with_overrides(sensor_seed=int(seed)),
+            attack_enabled=attack_enabled,
+            defended=defended,
+            tag=str(int(seed)),
         )
-        outcomes.append(
-            SeedOutcome(
-                seed=int(seed),
-                min_gap=result.min_gap(),
-                collided=result.collided,
-                detection_time=detections[0] if detections else None,
-                detection_latency=latency,
-            )
-        )
-    return MonteCarloSummary(outcomes=tuple(outcomes))
+        for seed in seeds
+    ]
+    outcomes = run_many(specs, workers=workers, postprocess=_seed_outcome)
+    return MonteCarloSummary(
+        outcomes=tuple(outcomes),
+        attacked=attack_enabled and scenario.attack is not None,
+    )

@@ -4,13 +4,15 @@ Each of the paper's figure panels overlays three series: the radar data
 without attack, the radar data with attack (undefended), and the
 estimated data produced by the defense.  :func:`run_figure_scenario`
 runs exactly that triple with a shared sensor seed so measurement noise
-aligns across runs.
+aligns across runs.  The three runs are independent, so they fan out
+through :mod:`repro.simulation.batch` when ``workers > 1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.simulation.batch import RunSpec, run_many
 from repro.simulation.engine import CarFollowingSimulation
 from repro.simulation.results import SimulationResult
 from repro.simulation.scenario import Scenario
@@ -50,11 +52,19 @@ def run_single(
     ).run()
 
 
-def run_figure_scenario(scenario: Scenario) -> FigureData:
-    """Run the (baseline, attacked, defended) triple of a figure panel."""
-    baseline = run_single(scenario, attack_enabled=False, defended=False)
-    attacked = run_single(scenario, attack_enabled=True, defended=False)
-    defended = run_single(scenario, attack_enabled=True, defended=True)
+def run_figure_scenario(scenario: Scenario, *, workers: int = 1) -> FigureData:
+    """Run the (baseline, attacked, defended) triple of a figure panel.
+
+    The runs share the scenario's sensor seed so noise aligns across
+    the overlay; ``workers`` lets them execute in parallel (they are
+    independent), with results identical to the serial path.
+    """
+    specs = [
+        RunSpec(scenario, attack_enabled=False, defended=False, tag="baseline"),
+        RunSpec(scenario, attack_enabled=True, defended=False, tag="attacked"),
+        RunSpec(scenario, attack_enabled=True, defended=True, tag="defended"),
+    ]
+    baseline, attacked, defended = run_many(specs, workers=workers)
     return FigureData(
         scenario=scenario,
         baseline=baseline,

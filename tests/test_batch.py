@@ -1,0 +1,146 @@
+"""Parallel batch-execution engine (repro.simulation.batch)."""
+
+import pytest
+
+from repro import fig2_scenario
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    BatchResult,
+    PlatoonScenario,
+    RunSpec,
+    derive_seeds,
+    execute_batch,
+    run_many,
+    run_monte_carlo,
+)
+from repro.simulation.batch import _default_chunksize
+from repro.vehicle import ConstantAccelerationProfile
+
+#: Short horizon keeps the attack window empty — fast, clean runs.
+FAST = fig2_scenario("dos", horizon=20.0)
+
+
+def _min_gap(spec, result):
+    """Worker-side reducer used by the postprocess tests."""
+    return (spec.tag, round(result.min_gap(), 6))
+
+
+def _explode(spec, result):
+    raise RuntimeError("boom")
+
+
+class TestExecuteBatch:
+    def test_empty_batch(self):
+        batch = execute_batch([])
+        assert batch.records == ()
+        assert not batch.parallel
+        assert batch.payloads() == []
+
+    def test_serial_records(self):
+        specs = [
+            RunSpec(FAST, attack_enabled=False, defended=False, tag="a"),
+            RunSpec(FAST, attack_enabled=False, defended=True, tag="b"),
+        ]
+        batch = execute_batch(specs, workers=1)
+        assert isinstance(batch, BatchResult)
+        assert not batch.parallel and batch.workers == 1
+        assert [r.tag for r in batch.records] == ["a", "b"]
+        assert [r.index for r in batch.records] == [0, 1]
+        assert all(r.ok and r.elapsed >= 0.0 for r in batch.records)
+
+    def test_parallel_matches_serial(self):
+        specs = [
+            RunSpec(FAST.with_overrides(sensor_seed=seed), tag=str(seed))
+            for seed in range(4)
+        ]
+        serial = execute_batch(specs, workers=1, postprocess=_min_gap)
+        parallel = execute_batch(specs, workers=4, postprocess=_min_gap)
+        assert serial.payloads() == parallel.payloads()
+
+    def test_platoon_specs_dispatch(self):
+        scenario = PlatoonScenario(
+            leader_profile=ConstantAccelerationProfile(-0.05),
+            n_followers=2,
+            horizon=20.0,
+        )
+        (result,) = run_many([RunSpec(scenario, attack_enabled=False)])
+        assert result.n_followers == 2
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            execute_batch([RunSpec(FAST)], workers=0)
+
+    def test_error_captured_per_record(self):
+        batch = execute_batch(
+            [RunSpec(FAST, tag="bad")], workers=1, postprocess=_explode
+        )
+        (record,) = batch.records
+        assert not record.ok
+        assert record.payload is None
+        assert "RuntimeError: boom" in record.error
+
+    def test_raise_on_error(self):
+        batch = execute_batch([RunSpec(FAST, tag="bad")], postprocess=_explode)
+        with pytest.raises(SimulationError, match="bad"):
+            batch.raise_on_error()
+        with pytest.raises(SimulationError):
+            run_many([RunSpec(FAST)], postprocess=_explode)
+
+    def test_pool_failure_degrades_to_serial(self, monkeypatch):
+        import concurrent.futures
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no pool in this sandbox")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", BrokenPool
+        )
+        specs = [RunSpec(FAST, tag=str(i)) for i in range(2)]
+        batch = execute_batch(specs, workers=4, postprocess=_min_gap)
+        assert not batch.parallel and batch.workers == 1
+        assert batch.payloads() == execute_batch(
+            specs, workers=1, postprocess=_min_gap
+        ).payloads()
+
+    def test_default_chunksize(self):
+        assert _default_chunksize(3, 4) == 1
+        assert _default_chunksize(64, 4) == 4
+
+
+class TestMonteCarloParallel:
+    def test_workers4_bitwise_identical_to_serial(self):
+        """The issue's determinism contract: same SeedOutcome tuples."""
+        scenario = fig2_scenario("dos")
+        serial = run_monte_carlo(scenario, range(6), workers=1)
+        parallel = run_monte_carlo(scenario, range(6), workers=4)
+        assert serial.outcomes == parallel.outcomes
+        assert serial.attacked == parallel.attacked
+
+    def test_figure_triple_parallel_identical(self):
+        from repro.simulation.runner import run_figure_scenario
+
+        scenario = fig2_scenario("delay")
+        serial = run_figure_scenario(scenario, workers=1)
+        parallel = run_figure_scenario(scenario, workers=3)
+        assert serial.detection_time() == parallel.detection_time()
+        assert serial.defended.min_gap() == parallel.defended.min_gap()
+        assert serial.attacked.collided == parallel.attacked.collided
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(2017, 8) == derive_seeds(2017, 8)
+
+    def test_distinct_and_sized(self):
+        seeds = derive_seeds(0, 32)
+        assert len(seeds) == 32
+        assert len(set(seeds)) == 32
+        assert all(isinstance(seed, int) and seed >= 0 for seed in seeds)
+
+    def test_prefix_stability(self):
+        assert derive_seeds(7, 4) == derive_seeds(7, 8)[:4]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            derive_seeds(1, 0)

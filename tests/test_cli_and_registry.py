@@ -99,3 +99,32 @@ class TestCLI:
         assert code == 0
         assert "fig3b" in text
         assert "Paper-vs-measured" in text
+
+    def test_run_figure_workers_output_identical(self):
+        code1, serial = self.run_cli(["run", "fig2a", "--no-plot"])
+        code2, parallel = self.run_cli(
+            ["run", "fig2a", "--no-plot", "--workers", "2"]
+        )
+        assert code1 == code2 == 0
+        assert serial == parallel
+
+    def test_workers_flag_on_report(self):
+        code, text = self.run_cli(["report", "--workers", "2"])
+        assert code == 0
+        assert "Paper-vs-measured" in text
+
+    def test_invalid_workers_rejected_at_parse_time(self, capsys):
+        for bad in ("0", "-3", "two"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["run", "fig2a", "--workers", bad])
+            assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_flag_on_run_custom(self, tmp_path):
+        from repro import fig2_scenario
+        from repro.simulation import save_scenario
+
+        path = save_scenario(fig2_scenario("dos"), tmp_path / "spec.json")
+        code, text = self.run_cli(["run-custom", str(path), "--workers", "2"])
+        assert code == 0
+        assert "detection at k = 182 s" in text

@@ -1,0 +1,127 @@
+"""Unified experiment facade (repro.run) and its compatibility aliases."""
+
+import pytest
+
+import repro
+from repro import fig2_scenario
+from repro.exceptions import ConfigurationError
+from repro.facade import run
+from repro.simulation import (
+    FigureData,
+    MonteCarloSummary,
+    PlatoonResult,
+    PlatoonScenario,
+    SimulationResult,
+    scenario_to_dict,
+    save_scenario,
+)
+from repro.vehicle import ConstantAccelerationProfile
+
+FAST = fig2_scenario("dos", horizon=20.0)
+
+
+def _platoon_scenario():
+    return PlatoonScenario(
+        leader_profile=ConstantAccelerationProfile(-0.05),
+        n_followers=2,
+        horizon=20.0,
+    )
+
+
+class TestRunModes:
+    def test_default_mode_is_single(self):
+        result = run(FAST)
+        assert isinstance(result, SimulationResult)
+        reference = repro.simulation.runner.run_single(FAST)
+        assert result.min_gap() == reference.min_gap()
+
+    def test_single_toggles(self):
+        undefended = run(FAST, attack_enabled=False, defended=False)
+        assert isinstance(undefended, SimulationResult)
+        assert not undefended.detection_times
+
+    def test_figure_mode(self):
+        scenario = fig2_scenario("dos")
+        data = run(scenario, mode="figure")
+        assert isinstance(data, FigureData)
+        assert data.detection_time() == 182.0
+        reference = repro.simulation.runner.run_figure_scenario(scenario)
+        assert data.defended.min_gap() == reference.defended.min_gap()
+
+    def test_monte_carlo_mode_with_explicit_seeds(self):
+        summary = run(
+            fig2_scenario("dos"), mode="monte_carlo", seeds=range(3), workers=2
+        )
+        assert isinstance(summary, MonteCarloSummary)
+        assert [o.seed for o in summary.outcomes] == [0, 1, 2]
+        reference = repro.simulation.monte_carlo.run_monte_carlo(
+            fig2_scenario("dos"), range(3)
+        )
+        assert summary.outcomes == reference.outcomes
+
+    def test_monte_carlo_mode_derives_seed_count(self):
+        summary = run(FAST, mode="monte_carlo", seeds=4)
+        assert summary.n_runs == 4
+        seeds = [o.seed for o in summary.outcomes]
+        assert len(set(seeds)) == 4
+        assert seeds == list(repro.derive_seeds(FAST.sensor_seed, 4))
+
+    def test_monte_carlo_requires_seeds(self):
+        with pytest.raises(ConfigurationError, match="seeds"):
+            run(FAST, mode="monte_carlo")
+
+    def test_platoon_mode_autoselected(self):
+        result = run(_platoon_scenario())
+        assert isinstance(result, PlatoonResult)
+        assert result.n_followers == 2
+
+    def test_platoon_scenario_rejects_other_modes(self):
+        with pytest.raises(ConfigurationError, match="does not fit"):
+            run(_platoon_scenario(), mode="figure")
+
+    def test_pair_scenario_rejects_platoon_mode(self):
+        with pytest.raises(ConfigurationError, match="does not fit"):
+            run(FAST, mode="platoon")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            run(FAST, mode="sweep")
+
+
+class TestSpecInputs:
+    def test_dict_spec(self):
+        result = run(scenario_to_dict(FAST))
+        assert result.min_gap() == run(FAST).min_gap()
+
+    def test_path_spec(self, tmp_path):
+        path = save_scenario(FAST, tmp_path / "spec.json")
+        result = run(str(path))
+        assert result.min_gap() == run(FAST).min_gap()
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ConfigurationError, match="Scenario"):
+            run(42)
+
+
+class TestAliases:
+    def test_top_level_names_are_facade_aliases(self):
+        assert repro.run is run
+        assert repro.run_single is repro.facade.run_single
+        assert repro.run_figure_scenario is repro.facade.run_figure_scenario
+        assert repro.run_monte_carlo is repro.facade.run_monte_carlo
+        assert repro.run_platoon is repro.facade.run_platoon
+
+    def test_run_single_alias_matches_impl(self):
+        assert (
+            repro.run_single(FAST).min_gap()
+            == repro.simulation.runner.run_single(FAST).min_gap()
+        )
+
+    def test_run_monte_carlo_alias_default_args(self):
+        summary = repro.run_monte_carlo(FAST, seeds=range(2))
+        assert isinstance(summary, MonteCarloSummary)
+        assert summary.n_runs == 2
+
+    def test_run_platoon_alias(self):
+        result = repro.run_platoon(_platoon_scenario(), attack_enabled=False)
+        assert isinstance(result, PlatoonResult)

@@ -38,7 +38,11 @@ class TestRunMonteCarlo:
             fig2_scenario("dos"), seeds=range(2), attack_enabled=False
         )
         assert summary.collision_count == 0
-        assert summary.detection_rate == 0.0
+        # The documented contract: detection rate is undefined (None)
+        # when no attack ran, not 0.0.
+        assert not summary.attacked
+        assert summary.detection_rate is None
+        assert summary.as_row("clean")["detection_rate"] is None
 
     def test_mean_and_worst_consistency(self, defended_summary):
         assert defended_summary.worst_min_gap <= defended_summary.mean_min_gap
