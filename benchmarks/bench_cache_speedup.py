@@ -1,0 +1,94 @@
+"""Extension bench — warm-vs-cold speedup of the run store.
+
+Builds the full markdown report (4 panel triples plus two 8-seed
+Monte-Carlo robustness sweeps — 28 closed-loop runs) three times
+against a fresh temporary store: once with the cache off (the
+pre-store baseline), once cold through a ``readwrite`` binding
+(computes every run and persists it), and once warm (every run replays
+from the store).  Asserts the tentpole contract of :mod:`repro.store`:
+
+* all three report texts are **byte-identical** — caching changes
+  wall-clock only, never output;
+* the warm build is at least 10x faster than the cold one (28 SQLite
+  lookups plus zlib decodes vs 28 simulated 300 s closed loops).
+"""
+
+import time
+
+from conftest import emit
+from repro.analysis import render_table
+from repro.analysis.report import build_report
+from repro.store import RunStore
+
+SPEEDUP_FLOOR = 10.0
+#: Robustness-section seeds: a heavier, more realistic report workload
+#: (4 panel triples + two 8-seed Monte-Carlo sweeps = 28 runs).
+SEEDS = tuple(range(8))
+
+
+def bench_cache_speedup(benchmark, tmp_path_factory):
+    store = RunStore(tmp_path_factory.mktemp("runstore") / "runstore.sqlite")
+
+    def timed(cache):
+        start = time.perf_counter()
+        text = build_report(seeds=SEEDS, cache=cache)
+        return text, time.perf_counter() - start
+
+    def sweep():
+        baseline, t_off = timed("off")
+        cold, t_cold = timed(store)
+        warm, t_warm = timed(store)
+        return baseline, cold, warm, t_off, t_cold, t_warm
+
+    baseline, cold, warm, t_off, t_cold, t_warm = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    # Caching must never change the report, only its cost.
+    assert cold == baseline
+    assert warm == baseline
+
+    stats = store.stats()
+    # 4 panel triples + 2 scenarios x 8 Monte-Carlo seeds.
+    assert stats.entries == 12 + 2 * len(SEEDS)
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x warm speedup, measured {speedup:.1f}x "
+        f"(cold {t_cold:.2f}s, warm {t_warm:.3f}s)"
+    )
+
+    emit(
+        "cache_speedup",
+        render_table(
+            [
+                {
+                    "configuration": "cache off",
+                    "wall_s": round(t_off, 3),
+                    "stored_runs": 0,
+                    "identical_report": True,
+                },
+                {
+                    "configuration": "cold (compute + store)",
+                    "wall_s": round(t_cold, 3),
+                    "stored_runs": stats.entries,
+                    "identical_report": cold == baseline,
+                },
+                {
+                    "configuration": "warm (replay)",
+                    "wall_s": round(t_warm, 3),
+                    "stored_runs": stats.entries,
+                    "identical_report": warm == baseline,
+                },
+                {
+                    "configuration": f"warm speedup (floor {SPEEDUP_FLOOR:.0f}x)",
+                    "wall_s": round(speedup, 1),
+                    "stored_runs": None,
+                    "identical_report": None,
+                },
+            ],
+            title="Run store: full report build, cold vs warm "
+            f"({stats.payload_bytes / 1024:.0f} KiB stored payload)",
+        ),
+    )
+    store.close()

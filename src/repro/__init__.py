@@ -13,7 +13,9 @@ The library implements, from scratch:
   (``repro.vehicle``), the discrete LTI framework (``repro.lti``), and
   the closed-loop simulation engine (``repro.simulation``);
 * metrics and reporting used by the benchmark harness
-  (``repro.analysis``).
+  (``repro.analysis``), and a content-addressed persistent run store
+  (``repro.store``) that memoizes deterministic runs behind the
+  ``cache=`` knob of :func:`repro.run`.
 
 Quickstart
 ----------
@@ -124,6 +126,16 @@ from repro.facade import (
     run_monte_carlo,
     run_platoon,
     run_single,
+)
+
+# Content-addressed experiment store (persistent run memoization
+# behind the cache= knob of run()/execute_batch; see repro.store).
+from repro.store import (
+    CacheBinding,
+    RunStore,
+    StoreStats,
+    default_store_path,
+    run_fingerprint,
 )
 from repro.analysis import (
     ascii_plot,
@@ -237,6 +249,12 @@ __all__ = [
     "execute_batch",
     "run_many",
     "derive_seeds",
+    # run store
+    "RunStore",
+    "StoreStats",
+    "CacheBinding",
+    "run_fingerprint",
+    "default_store_path",
     # analysis
     "detection_latency",
     "detection_confusion",

@@ -226,6 +226,17 @@ REGISTRY: Tuple[Experiment, ...] = (
         kind="extension",
     ),
     Experiment(
+        identifier="cache-speedup",
+        title="Content-addressed run store: warm-vs-cold report build",
+        paper_claim="",
+        workload="Full 4-panel report built cold (computing + storing) "
+        "and warm (replayed from the store); asserts byte-identical "
+        "text and >=10x warm speedup",
+        bench="bench_cache_speedup.py",
+        modules=("store", "simulation.batch", "analysis.report"),
+        kind="extension",
+    ),
+    Experiment(
         identifier="follower-policy",
         title="Follower policy: hierarchical ACC vs plain IDM",
         paper_claim="",

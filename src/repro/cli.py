@@ -11,15 +11,24 @@ Commands
     ids print the pytest command for their bench instead.
 ``run-custom <spec.json>``
     Run the (baseline / attacked / defended) triple for a declarative
-    scenario spec (see :mod:`repro.simulation.spec`).
+    scenario spec (see :mod:`repro.simulation.spec`).  Pass ``-`` as
+    the path to read the JSON spec from stdin (shell pipelines).
 ``report``
     Run all four figure panels and print the consolidated
     paper-vs-measured summary; ``--markdown PATH`` writes a live
     markdown report instead (``--seeds N`` adds a robustness section).
+``cache``
+    Manage the persistent run store (:mod:`repro.store`):
+    ``cache stats``, ``cache clear``, ``cache export PATH`` and
+    ``cache path``, each accepting ``--store PATH`` to address a
+    non-default store file.
 
 ``run``, ``run-custom`` and ``report`` accept ``--workers N`` to fan
 their independent runs out over a process pool (see
-:mod:`repro.simulation.batch`); output is identical to serial.
+:mod:`repro.simulation.batch`); output is identical to serial.  They
+also accept ``--cache`` / ``--no-cache`` (default: no cache) to serve
+previously computed runs from the store and persist new ones —
+cached output is byte-identical to uncached.
 """
 
 from __future__ import annotations
@@ -55,6 +64,35 @@ _FIGURE_FACTORIES = {
 }
 
 
+def _add_worker_and_cache_args(parser: argparse.ArgumentParser) -> None:
+    """The execution knobs shared by run / run-custom / report."""
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the independent runs (default: serial)",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=False,
+        help="serve runs from the persistent run store and save new ones "
+        "(output is byte-identical to uncached)",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="bypass the run store (default)",
+    )
+
+
+def _cache_mode(args: argparse.Namespace) -> str:
+    return "readwrite" if getattr(args, "cache", False) else "off"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -76,23 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-plot", action="store_true", help="skip the ASCII figure"
     )
-    run_parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the independent runs (default: serial)",
-    )
+    _add_worker_and_cache_args(run_parser)
 
     custom_parser = subparsers.add_parser(
         "run-custom", help="run a scenario from a JSON spec file"
     )
-    custom_parser.add_argument("spec", help="path to the scenario spec JSON")
     custom_parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the independent runs (default: serial)",
+        "spec", help="path to the scenario spec JSON ('-' reads stdin)"
     )
+    _add_worker_and_cache_args(custom_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="run all figure panels and print the summary"
@@ -109,20 +139,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="extra sensor seeds for a robustness section (markdown only)",
     )
-    report_parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the independent runs (default: serial)",
+    _add_worker_and_cache_args(report_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or manage the persistent run store"
     )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "print entry and byte counts of the run store"),
+        ("clear", "evict every cached run and compact the store"),
+        ("export", "write the store inventory (metadata + summaries) as JSON"),
+        ("path", "print the store's database path"),
+    ):
+        sub = cache_sub.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--store",
+            metavar="PATH",
+            default=None,
+            help="run-store database file (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro/runstore.sqlite)",
+        )
+        if name == "export":
+            sub.add_argument("dest", help="output JSON path")
     return parser
 
 
 def _run_figure(
-    identifier: str, seed: int, show_plot: bool, out, workers: int = 1
+    identifier: str,
+    seed: int,
+    show_plot: bool,
+    out,
+    workers: int = 1,
+    cache: str = "off",
 ) -> int:
     scenario = _FIGURE_FACTORIES[identifier]().with_overrides(sensor_seed=seed)
-    data = run_figure_scenario(scenario, workers=workers)
+    data = run_figure_scenario(scenario, workers=workers, cache=cache)
     rows = [
         data.baseline.summary().as_dict(),
         data.attacked.summary().as_dict(),
@@ -177,11 +228,11 @@ def _run_figure(
     return 0
 
 
-def _run_report(out, workers: int = 1) -> int:
+def _run_report(out, workers: int = 1, cache: str = "off") -> int:
     rows = []
     for identifier in ("fig2a", "fig2b", "fig3a", "fig3b"):
         scenario = _FIGURE_FACTORIES[identifier]()
-        data = run_figure_scenario(scenario, workers=workers)
+        data = run_figure_scenario(scenario, workers=workers, cache=cache)
         confusion = detection_confusion(
             data.defended.detection_events, scenario.attack
         )
@@ -210,6 +261,39 @@ def _run_report(out, workers: int = 1) -> int:
     return 0
 
 
+def _run_cache(args: argparse.Namespace, out) -> int:
+    """The ``repro cache`` command group (run-store management)."""
+    from repro.store import RunStore
+
+    store = RunStore(args.store)
+    try:
+        if args.cache_command == "path":
+            print(store.path, file=out)
+            return 0
+        if args.cache_command == "stats":
+            stats = store.stats()
+            print(
+                render_table(
+                    stats.as_rows(), title=f"run store at {stats.path}"
+                ),
+                file=out,
+            )
+            return 0
+        if args.cache_command == "clear":
+            removed = store.clear()
+            print(f"evicted {removed} cached runs from {store.path}", file=out)
+            return 0
+        if args.cache_command == "export":
+            dest = store.export(args.dest)
+            print(f"exported {len(store)} entries to {dest}", file=out)
+            return 0
+        raise AssertionError(
+            f"unhandled cache command {args.cache_command!r}"
+        )  # pragma: no cover
+    finally:
+        store.close()
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -227,7 +311,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return 2
         if args.experiment in _FIGURE_FACTORIES:
             return _run_figure(
-                args.experiment, args.seed, not args.no_plot, out, args.workers
+                args.experiment,
+                args.seed,
+                not args.no_plot,
+                out,
+                args.workers,
+                _cache_mode(args),
             )
         print(
             f"{experiment.identifier} is regenerated by its benchmark:\n"
@@ -237,14 +326,22 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
 
     if args.command == "run-custom":
-        from repro.simulation import load_scenario
+        import json
+
+        from repro.simulation import load_scenario, scenario_from_dict
 
         try:
-            scenario = load_scenario(args.spec)
+            if args.spec == "-":
+                scenario = scenario_from_dict(json.load(sys.stdin))
+            else:
+                scenario = load_scenario(args.spec)
         except Exception as exc:  # surface any spec problem as exit code 2
-            print(f"could not load {args.spec}: {exc}", file=out)
+            source = "<stdin>" if args.spec == "-" else args.spec
+            print(f"could not load {source}: {exc}", file=out)
             return 2
-        data = run_figure_scenario(scenario, workers=args.workers)
+        data = run_figure_scenario(
+            scenario, workers=args.workers, cache=_cache_mode(args)
+        )
         rows = [
             data.baseline.summary().as_dict(),
             data.attacked.summary().as_dict(),
@@ -266,11 +363,16 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
 
             seeds = list(range(args.seeds)) if args.seeds else None
             Path(args.markdown).write_text(
-                build_report(seeds=seeds, workers=args.workers)
+                build_report(
+                    seeds=seeds, workers=args.workers, cache=_cache_mode(args)
+                )
             )
             print(f"wrote {args.markdown}", file=out)
             return 0
-        return _run_report(out, args.workers)
+        return _run_report(out, args.workers, _cache_mode(args))
+
+    if args.command == "cache":
+        return _run_cache(args, out)
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

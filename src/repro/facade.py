@@ -91,6 +91,11 @@ def _resolve_scenario(
     )
 
 
+def _cache_active(cache: Any) -> bool:
+    """Whether a ``cache=`` argument engages the run store at all."""
+    return cache is not None and cache != "off"
+
+
 def run(
     scenario_or_spec: Any,
     *,
@@ -99,6 +104,7 @@ def run(
     seeds: Union[int, Sequence[int], None] = None,
     attack_enabled: bool = True,
     defended: bool = True,
+    cache: Any = "off",
 ) -> Union[SimulationResult, FigureData, MonteCarloSummary, PlatoonResult]:
     """Run an experiment described by a scenario or a declarative spec.
 
@@ -127,6 +133,14 @@ def run(
         Run toggles for ``"single"`` and ``"monte_carlo"`` (the figure
         triple runs all combinations; platoon defense is configured on
         the scenario itself).
+    cache:
+        Run-store policy: ``"off"`` (default, pre-store behavior),
+        ``"readonly"`` (serve fingerprint hits from the persistent
+        store, never write), or ``"readwrite"`` (serve hits, store
+        computed misses).  A :class:`repro.store.RunStore` or
+        :class:`repro.store.CacheBinding` selects an explicit store.
+        Cached replays are bit-identical to fresh runs.  Platoon runs
+        are uncacheable and always compute.
     """
     scenario = _resolve_scenario(scenario_or_spec)
 
@@ -143,11 +157,26 @@ def run(
         )
 
     if mode == "single":
+        if _cache_active(cache):
+            (result,) = _batch.run_many(
+                [
+                    _batch.RunSpec(
+                        scenario,
+                        attack_enabled=attack_enabled,
+                        defended=defended,
+                        tag=scenario.name,
+                    )
+                ],
+                cache=cache,
+            )
+            return result
         return _runner.run_single(
             scenario, attack_enabled=attack_enabled, defended=defended
         )
     if mode == "figure":
-        return _runner.run_figure_scenario(scenario, workers=workers)
+        return _runner.run_figure_scenario(
+            scenario, workers=workers, cache=cache if _cache_active(cache) else None
+        )
     if mode == "monte_carlo":
         if seeds is None:
             raise ConfigurationError("mode='monte_carlo' requires seeds")
@@ -159,6 +188,7 @@ def run(
             attack_enabled=attack_enabled,
             defended=defended,
             workers=workers,
+            cache=cache if _cache_active(cache) else None,
         )
     return _platoon.run_platoon(scenario, attack_enabled=attack_enabled)
 
@@ -172,9 +202,11 @@ def run_single(
     )
 
 
-def run_figure_scenario(scenario: Scenario, *, workers: int = 1) -> FigureData:
+def run_figure_scenario(
+    scenario: Scenario, *, workers: int = 1, cache: Any = "off"
+) -> FigureData:
     """Alias for ``run(scenario, mode='figure', ...)`` (original API)."""
-    return run(scenario, mode="figure", workers=workers)
+    return run(scenario, mode="figure", workers=workers, cache=cache)
 
 
 def run_monte_carlo(
@@ -183,6 +215,7 @@ def run_monte_carlo(
     attack_enabled: bool = True,
     defended: bool = True,
     workers: int = 1,
+    cache: Any = "off",
 ) -> MonteCarloSummary:
     """Alias for ``run(scenario, mode='monte_carlo', ...)`` (original API)."""
     return run(
@@ -192,6 +225,7 @@ def run_monte_carlo(
         attack_enabled=attack_enabled,
         defended=defended,
         workers=workers,
+        cache=cache,
     )
 
 

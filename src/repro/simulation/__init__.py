@@ -36,7 +36,13 @@ from repro.simulation.batch import (
     execute_batch,
     run_many,
 )
-from repro.simulation.io import export_csv, export_json, load_json
+from repro.simulation.io import (
+    export_csv,
+    export_json,
+    load_json,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.simulation.spec import (
     load_scenario,
     save_scenario,
@@ -74,6 +80,8 @@ __all__ = [
     "export_csv",
     "export_json",
     "load_json",
+    "result_to_dict",
+    "result_from_dict",
     "run_monte_carlo",
     "MonteCarloSummary",
     "SeedOutcome",

@@ -25,10 +25,17 @@ a deterministic way to expand one base seed into per-run seeds.
 overhead; if the platform cannot spawn a process pool (restricted
 sandboxes, missing ``/dev/shm``, ...) the batch silently degrades to
 the serial path and records ``parallel=False``.
+
+Determinism also makes runs *memoizable*: with ``cache=`` set to
+``"readonly"`` or ``"readwrite"`` (or an explicit
+:class:`repro.store.RunStore`), each spec is fingerprinted via
+:mod:`repro.store.fingerprint` and store hits skip simulation entirely
+— the replayed payload is bit-identical to a fresh run.
 """
 
 from __future__ import annotations
 
+import operator
 import os
 import time
 from dataclasses import dataclass
@@ -36,8 +43,9 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulation.engine import CarFollowingSimulation
+from repro.simulation.results import SimulationResult
 from repro.simulation.platoon import PlatoonScenario, PlatoonSimulation
 from repro.simulation.scenario import Scenario
 
@@ -97,6 +105,9 @@ class RunRecord:
     elapsed: float
     worker_pid: int
     error: Optional[str] = None
+    #: True when the payload was served from the run store
+    #: (:mod:`repro.store`) instead of being simulated.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -116,6 +127,9 @@ class BatchResult:
     workers: int
     parallel: bool
     elapsed: float
+    #: Runs served from the run store instead of being simulated
+    #: (always 0 when executed with ``cache`` off).
+    cache_hits: int = 0
 
     def payloads(self) -> List[Any]:
         """The per-run payloads, in submission order."""
@@ -141,10 +155,33 @@ def derive_seeds(base_seed: int, n: int) -> Tuple[int, ...]:
     order, so serial and parallel sweeps see the same seed list.  Built
     on :class:`numpy.random.SeedSequence`, whose spawn tree guarantees
     the derived streams are pairwise independent.
+
+    Both arguments must be genuine integers (numpy integer scalars are
+    fine); ``n`` must be non-negative (``n=0`` yields an empty tuple).
+    Invalid inputs raise :class:`~repro.exceptions.ConfigurationError`
+    up front rather than an opaque NumPy error from deep inside
+    ``SeedSequence``.
     """
-    if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
-    state = np.random.SeedSequence(int(base_seed)).generate_state(n, np.uint32)
+    try:
+        base = operator.index(base_seed)
+    except TypeError:
+        raise ConfigurationError(
+            f"base_seed must be an integer, got {base_seed!r} "
+            f"({type(base_seed).__name__})"
+        ) from None
+    try:
+        count = operator.index(n)
+    except TypeError:
+        raise ConfigurationError(
+            f"n must be an integer, got {n!r} ({type(n).__name__})"
+        ) from None
+    if base < 0:
+        raise ConfigurationError(f"base_seed must be >= 0, got {base}")
+    if count < 0:
+        raise ConfigurationError(f"n must be >= 0, got {count}")
+    if count == 0:
+        return ()
+    state = np.random.SeedSequence(base).generate_state(count, np.uint32)
     return tuple(int(word) for word in state)
 
 
@@ -198,6 +235,7 @@ def execute_batch(
     workers: int = 1,
     chunksize: Optional[int] = None,
     postprocess: Optional[Postprocess] = None,
+    cache: Any = None,
 ) -> BatchResult:
     """Execute independent runs, fanning out over a process pool.
 
@@ -215,6 +253,15 @@ def execute_batch(
         Optional reducer ``(spec, result) -> payload`` applied worker-
         side — use a module-level function so it pickles; lets sweeps
         return small summaries instead of full trace containers.
+    cache:
+        Run-store policy (see :mod:`repro.store.cache`): ``None`` /
+        ``"off"`` (default) bypasses the store entirely;
+        ``"readonly"`` serves fingerprint hits from the store;
+        ``"readwrite"`` additionally stores computed misses.  A
+        :class:`~repro.store.RunStore` or
+        :class:`~repro.store.CacheBinding` selects an explicit store.
+        Results are bit-identical in every mode; only wall-clock
+        changes.  Uncacheable specs (platoons) always compute.
 
     Errors inside a run are captured per-record (``RunRecord.error``);
     call :meth:`BatchResult.raise_on_error` to surface them.  If the
@@ -223,10 +270,40 @@ def execute_batch(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    items = list(enumerate(specs))
-    if not items:
+    if not specs:
         return BatchResult(records=(), workers=workers, parallel=False, elapsed=0.0)
 
+    binding = None
+    if cache is not None and cache != "off":
+        from repro.store.cache import resolve_cache
+
+        binding = resolve_cache(cache)
+    if binding is None:
+        return _execute_batch_plain(
+            specs, workers=workers, chunksize=chunksize, postprocess=postprocess
+        )
+    try:
+        return _execute_batch_cached(
+            specs,
+            binding,
+            workers=workers,
+            chunksize=chunksize,
+            postprocess=postprocess,
+        )
+    finally:
+        if binding.owns_store:
+            binding.store.close()
+
+
+def _execute_batch_plain(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int,
+    chunksize: Optional[int],
+    postprocess: Optional[Postprocess],
+) -> BatchResult:
+    """The store-free execution path (pre-cache behavior, unchanged)."""
+    items = list(enumerate(specs))
     start = time.perf_counter()
     effective = min(workers, len(items))
     if effective == 1:
@@ -267,20 +344,131 @@ def execute_batch(
     )
 
 
+def _apply_postprocess(
+    postprocess: Postprocess, spec: RunSpec, result: Any
+) -> Tuple[Any, Optional[str]]:
+    """Run a reducer parent-side with worker-equivalent error capture."""
+    try:
+        return postprocess(spec, result), None
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _execute_batch_cached(
+    specs: Sequence[RunSpec],
+    binding: Any,
+    *,
+    workers: int,
+    chunksize: Optional[int],
+    postprocess: Optional[Postprocess],
+) -> BatchResult:
+    """Serve fingerprint hits from the run store; compute the misses.
+
+    The store is only ever touched from the calling process — workers
+    never hold a SQLite connection.  In ``readwrite`` mode the workers
+    return raw :class:`~repro.simulation.results.SimulationResult`
+    payloads (any ``postprocess`` is applied parent-side after the
+    store write), so a sweep's reducer sees the same values whether its
+    input was computed or replayed.
+    """
+    from repro.store.fingerprint import run_fingerprint
+
+    start = time.perf_counter()
+    items = list(enumerate(specs))
+    records: dict = {}
+    misses: List[Tuple[int, RunSpec, Optional[str]]] = []
+    for index, spec in items:
+        lookup_start = time.perf_counter()
+        fingerprint = run_fingerprint(spec)
+        hit = binding.store.get(fingerprint) if fingerprint is not None else None
+        if hit is None:
+            misses.append((index, spec, fingerprint))
+            continue
+        if postprocess is None:
+            payload, error = hit, None
+        else:
+            payload, error = _apply_postprocess(postprocess, spec, hit)
+        records[index] = RunRecord(
+            index=index,
+            tag=spec.tag,
+            payload=payload,
+            elapsed=time.perf_counter() - lookup_start,
+            worker_pid=os.getpid(),
+            error=error,
+            cached=True,
+        )
+
+    inner_workers, parallel = 1, False
+    if misses:
+        # Writers need the raw result back to store it; readers can let
+        # the worker-side reducer shrink the payload as usual.
+        worker_postprocess = None if binding.writes else postprocess
+        inner = _execute_batch_plain(
+            [spec for _, spec, _ in misses],
+            workers=workers,
+            chunksize=chunksize,
+            postprocess=worker_postprocess,
+        )
+        inner_workers, parallel = inner.workers, inner.parallel
+        for (index, spec, fingerprint), record in zip(misses, inner.records):
+            payload, error = record.payload, record.error
+            if binding.writes and record.ok:
+                if fingerprint is not None and isinstance(
+                    payload, SimulationResult
+                ):
+                    from repro.simulation.spec import scenario_to_dict
+
+                    binding.store.put(
+                        fingerprint,
+                        payload,
+                        spec_dict=scenario_to_dict(spec.scenario),
+                        attack_enabled=spec.attack_enabled,
+                        defended=spec.defended,
+                        sensor_seed=spec.scenario.sensor_seed,
+                        horizon=spec.scenario.horizon,
+                    )
+                if postprocess is not None:
+                    payload, error = _apply_postprocess(
+                        postprocess, spec, payload
+                    )
+            records[index] = RunRecord(
+                index=index,
+                tag=spec.tag,
+                payload=payload,
+                elapsed=record.elapsed,
+                worker_pid=record.worker_pid,
+                error=error,
+            )
+
+    return BatchResult(
+        records=tuple(records[index] for index, _ in items),
+        workers=inner_workers,
+        parallel=parallel,
+        elapsed=time.perf_counter() - start,
+        cache_hits=len(items) - len(misses),
+    )
+
+
 def run_many(
     specs: Sequence[RunSpec],
     *,
     workers: int = 1,
     chunksize: Optional[int] = None,
     postprocess: Optional[Postprocess] = None,
+    cache: Any = None,
 ) -> List[Any]:
     """Execute a batch and return just the ordered payloads.
 
-    Raises :class:`SimulationError` if any run failed.
+    Raises :class:`SimulationError` if any run failed.  ``cache``
+    selects the run-store policy (see :func:`execute_batch`).
     """
     return (
         execute_batch(
-            specs, workers=workers, chunksize=chunksize, postprocess=postprocess
+            specs,
+            workers=workers,
+            chunksize=chunksize,
+            postprocess=postprocess,
+            cache=cache,
         )
         .raise_on_error()
         .payloads()

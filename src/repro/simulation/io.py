@@ -17,9 +17,72 @@ from typing import Union
 from repro.simulation.results import SimulationResult
 from repro.types import DetectionEvent, TimeSeries
 
-__all__ = ["export_csv", "export_json", "load_json"]
+__all__ = [
+    "export_csv",
+    "export_json",
+    "load_json",
+    "result_to_dict",
+    "result_from_dict",
+]
 
 PathLike = Union[str, Path]
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """A result (traces + metadata) as a JSON-compatible dict.
+
+    The inverse of :func:`result_from_dict`.  Floats survive the JSON
+    round trip exactly (``repr``-based shortest representation), so a
+    reloaded result is bit-identical to the original — the property the
+    run store (:mod:`repro.store`) relies on.
+    """
+    return {
+        "name": result.name,
+        "attack_name": result.attack_name,
+        "defended": result.defended,
+        "collision_time": result.collision_time,
+        "detection_events": [
+            {
+                "time": e.time,
+                "attack_detected": e.attack_detected,
+                "receiver_output": e.receiver_output,
+            }
+            for e in result.detection_events
+        ],
+        "traces": {
+            name: {"times": series.times, "values": series.values}
+            for name, series in result.traces.items()
+        },
+    }
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from its dict form."""
+    traces = {}
+    for name, data in payload["traces"].items():
+        # Bulk-construct rather than append sample-by-sample: the data
+        # came from a recorded run, so it is already ordered, and warm
+        # cache replays decode thousands of samples per lookup.
+        traces[name] = TimeSeries(
+            name,
+            times=[float(t) for t in data["times"]],
+            values=[float(v) for v in data["values"]],
+        )
+    return SimulationResult(
+        name=payload["name"],
+        traces=traces,
+        detection_events=[
+            DetectionEvent(
+                time=float(e["time"]),
+                attack_detected=bool(e["attack_detected"]),
+                receiver_output=float(e["receiver_output"]),
+            )
+            for e in payload["detection_events"]
+        ],
+        collision_time=payload["collision_time"],
+        attack_name=payload["attack_name"],
+        defended=payload["defended"],
+    )
 
 
 def export_csv(result: SimulationResult, path: PathLike) -> Path:
@@ -48,50 +111,10 @@ def export_csv(result: SimulationResult, path: PathLike) -> Path:
 def export_json(result: SimulationResult, path: PathLike) -> Path:
     """Write a result (traces + metadata) as JSON."""
     path = Path(path)
-    payload = {
-        "name": result.name,
-        "attack_name": result.attack_name,
-        "defended": result.defended,
-        "collision_time": result.collision_time,
-        "detection_events": [
-            {
-                "time": e.time,
-                "attack_detected": e.attack_detected,
-                "receiver_output": e.receiver_output,
-            }
-            for e in result.detection_events
-        ],
-        "traces": {
-            name: {"times": series.times, "values": series.values}
-            for name, series in result.traces.items()
-        },
-    }
-    path.write_text(json.dumps(payload))
+    path.write_text(json.dumps(result_to_dict(result)))
     return path
 
 
 def load_json(path: PathLike) -> SimulationResult:
     """Reload a result previously written with :func:`export_json`."""
-    payload = json.loads(Path(path).read_text())
-    traces = {}
-    for name, data in payload["traces"].items():
-        series = TimeSeries(name)
-        for t, v in zip(data["times"], data["values"]):
-            series.append(float(t), float(v))
-        traces[name] = series
-    result = SimulationResult(
-        name=payload["name"],
-        traces=traces,
-        detection_events=[
-            DetectionEvent(
-                time=float(e["time"]),
-                attack_detected=bool(e["attack_detected"]),
-                receiver_output=float(e["receiver_output"]),
-            )
-            for e in payload["detection_events"]
-        ],
-        collision_time=payload["collision_time"],
-        attack_name=payload["attack_name"],
-        defended=payload["defended"],
-    )
-    return result
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -16,7 +16,7 @@ seeded scenario, not by scheduling).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -131,6 +131,7 @@ def run_monte_carlo(
     attack_enabled: bool = True,
     defended: bool = True,
     workers: int = 1,
+    cache: Any = None,
 ) -> MonteCarloSummary:
     """Run ``scenario`` once per seed and aggregate the outcomes.
 
@@ -138,6 +139,10 @@ def run_monte_carlo(
     timing, challenge schedule, defense configuration) is held fixed.
     ``workers`` fans the independent runs out over a process pool
     (serial when 1); the aggregated outcomes are identical either way.
+    ``cache`` selects the run-store policy (see
+    :func:`repro.simulation.batch.execute_batch`) — previously stored
+    seeds replay from the store instead of simulating, yielding the
+    same :class:`SeedOutcome` values bit-for-bit.
     """
     seeds = list(seeds)
     if not seeds:
@@ -151,7 +156,9 @@ def run_monte_carlo(
         )
         for seed in seeds
     ]
-    outcomes = run_many(specs, workers=workers, postprocess=_seed_outcome)
+    outcomes = run_many(
+        specs, workers=workers, postprocess=_seed_outcome, cache=cache
+    )
     return MonteCarloSummary(
         outcomes=tuple(outcomes),
         attacked=attack_enabled and scenario.attack is not None,

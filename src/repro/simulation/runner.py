@@ -11,6 +11,7 @@ through :mod:`repro.simulation.batch` when ``workers > 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.simulation.batch import RunSpec, run_many
 from repro.simulation.engine import CarFollowingSimulation
@@ -52,19 +53,24 @@ def run_single(
     ).run()
 
 
-def run_figure_scenario(scenario: Scenario, *, workers: int = 1) -> FigureData:
+def run_figure_scenario(
+    scenario: Scenario, *, workers: int = 1, cache: Any = None
+) -> FigureData:
     """Run the (baseline, attacked, defended) triple of a figure panel.
 
     The runs share the scenario's sensor seed so noise aligns across
     the overlay; ``workers`` lets them execute in parallel (they are
-    independent), with results identical to the serial path.
+    independent), with results identical to the serial path.  ``cache``
+    selects the run-store policy (see
+    :func:`repro.simulation.batch.execute_batch`): store hits replay
+    bit-identically instead of simulating.
     """
     specs = [
         RunSpec(scenario, attack_enabled=False, defended=False, tag="baseline"),
         RunSpec(scenario, attack_enabled=True, defended=False, tag="attacked"),
         RunSpec(scenario, attack_enabled=True, defended=True, tag="defended"),
     ]
-    baseline, attacked, defended = run_many(specs, workers=workers)
+    baseline, attacked, defended = run_many(specs, workers=workers, cache=cache)
     return FigureData(
         scenario=scenario,
         baseline=baseline,

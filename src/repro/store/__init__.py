@@ -1,0 +1,49 @@
+"""Content-addressed experiment store (persistent run memoization).
+
+Every run in this library is bit-deterministic in its
+:class:`~repro.simulation.batch.RunSpec` (PR 1's contract), which makes
+results memoizable across processes and sessions:
+
+* :mod:`repro.store.fingerprint` — canonical-JSON + SHA-256 content
+  addresses of runs, salted with a schema version;
+* :mod:`repro.store.runstore` — the SQLite (WAL) store holding run
+  metadata, headline summaries, and compressed trace payloads, with
+  ``get`` / ``put`` / ``stats`` / ``evict`` / ``export`` APIs;
+* :mod:`repro.store.cache` — policy resolution for the ``cache=``
+  argument threaded through :func:`repro.run`,
+  :func:`~repro.simulation.batch.execute_batch`, ``run_monte_carlo``
+  and ``build_report``.
+
+Quick use:
+
+>>> import repro
+>>> repro.run(repro.fig2_scenario("dos"), mode="figure",
+...           cache="readwrite")   # cold: computes + stores  # doctest: +SKIP
+>>> repro.run(repro.fig2_scenario("dos"), mode="figure",
+...           cache="readwrite")   # warm: served from the store  # doctest: +SKIP
+
+The CLI mirror is ``python -m repro cache {stats,clear,export,path}``
+plus ``--cache`` on ``run`` / ``run-custom`` / ``report``.
+"""
+
+from repro.store.cache import CACHE_MODES, CacheBinding, resolve_cache
+from repro.store.fingerprint import (
+    STORE_SCHEMA_VERSION,
+    canonical_json,
+    fingerprint_payload,
+    run_fingerprint,
+)
+from repro.store.runstore import RunStore, StoreStats, default_store_path
+
+__all__ = [
+    "CACHE_MODES",
+    "CacheBinding",
+    "resolve_cache",
+    "STORE_SCHEMA_VERSION",
+    "canonical_json",
+    "fingerprint_payload",
+    "run_fingerprint",
+    "RunStore",
+    "StoreStats",
+    "default_store_path",
+]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import fig2_scenario
-from repro.exceptions import SimulationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulation import (
     BatchResult,
     PlatoonScenario,
@@ -141,6 +141,23 @@ class TestDeriveSeeds:
     def test_prefix_stability(self):
         assert derive_seeds(7, 4) == derive_seeds(7, 8)[:4]
 
-    def test_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
-            derive_seeds(1, 0)
+    def test_zero_count_is_empty(self):
+        assert derive_seeds(1, 0) == ()
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError, match="n must be >= 0"):
+            derive_seeds(1, -1)
+
+    def test_rejects_negative_base_seed(self):
+        with pytest.raises(ConfigurationError, match="base_seed must be >= 0"):
+            derive_seeds(-3, 4)
+
+    @pytest.mark.parametrize("bad", [2.5, "2017", None, 3.0])
+    def test_rejects_non_integer_base_seed(self, bad):
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            derive_seeds(bad, 4)
+
+    @pytest.mark.parametrize("bad", [1.5, "8", 4.0])
+    def test_rejects_non_integer_count(self, bad):
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            derive_seeds(2017, bad)

@@ -6,7 +6,12 @@ import json
 import pytest
 
 from repro import fig2_scenario, fig3_scenario, run_single
-from repro.attacks import AttackWindow, PhantomTargetAttack
+from repro.attacks import (
+    AttackWindow,
+    DelayInjectionAttack,
+    DoSJammingAttack,
+    PhantomTargetAttack,
+)
 from repro.cli import main
 from repro.exceptions import ConfigurationError
 from repro.simulation import (
@@ -15,7 +20,11 @@ from repro.simulation import (
     scenario_from_dict,
     scenario_to_dict,
 )
-from repro.vehicle import StopAndGoProfile
+from repro.vehicle import (
+    ConstantAccelerationProfile,
+    PiecewiseAccelerationProfile,
+    StopAndGoProfile,
+)
 
 
 class TestRoundTrip:
@@ -69,6 +78,69 @@ class TestRoundTrip:
         assert spec["leader_profile"]["kind"] == "constant"
 
 
+#: One instance of every leader-profile kind the spec schema knows.
+PROFILE_CASES = {
+    "constant": ConstantAccelerationProfile(-0.1082, start_time=5.0),
+    "piecewise": PiecewiseAccelerationProfile([(0.0, -0.1), (150.0, 0.012)]),
+    "stop_and_go": StopAndGoProfile(
+        deceleration=0.9,
+        acceleration=0.7,
+        brake_time=15.0,
+        go_time=30.0,
+        start_time=2.0,
+    ),
+}
+
+#: One instance of every attack kind the spec schema knows.
+ATTACK_CASES = {
+    "dos": DoSJammingAttack(AttackWindow(182.0, 300.0)),
+    "delay": DelayInjectionAttack(
+        AttackWindow(180.0, 300.0),
+        distance_offset=6.0,
+        velocity_offset=1.5,
+        ramp_time=10.0,
+    ),
+    "phantom": PhantomTargetAttack(
+        AttackWindow(100.0, 200.0),
+        phantom_distance=12.0,
+        phantom_velocity=-3.0,
+    ),
+}
+
+
+class TestDictLevelRoundTrip:
+    """``scenario_to_dict(scenario_from_dict(d)) == d`` for every kind.
+
+    The spec dict is the run store's cache key (:mod:`repro.store`), so
+    the round trip must be exact at the dict level — not merely
+    behaviour-preserving — or cached runs would miss after a reload.
+    """
+
+    @pytest.mark.parametrize("profile_kind", sorted(PROFILE_CASES))
+    @pytest.mark.parametrize("attack_kind", sorted(ATTACK_CASES))
+    def test_every_profile_and_attack_kind(self, profile_kind, attack_kind):
+        scenario = fig2_scenario("dos").with_overrides(
+            name=f"{profile_kind}-{attack_kind}",
+            leader_profile=PROFILE_CASES[profile_kind],
+            attack=ATTACK_CASES[attack_kind],
+        )
+        spec = scenario_to_dict(scenario)
+        assert spec["leader_profile"]["kind"] == profile_kind
+        assert spec["attack"]["kind"] == attack_kind
+        assert scenario_to_dict(scenario_from_dict(spec)) == spec
+
+    @pytest.mark.parametrize("profile_kind", sorted(PROFILE_CASES))
+    def test_no_attack_round_trips(self, profile_kind):
+        scenario = fig2_scenario("dos").with_overrides(
+            name=f"{profile_kind}-clean",
+            leader_profile=PROFILE_CASES[profile_kind],
+            attack=None,
+        )
+        spec = scenario_to_dict(scenario)
+        assert "attack" not in spec or spec["attack"] is None
+        assert scenario_to_dict(scenario_from_dict(spec)) == spec
+
+
 class TestSpecValidation:
     def test_minimal_spec_gets_defaults(self):
         scenario = scenario_from_dict(
@@ -109,3 +181,16 @@ class TestCLIRunCustom:
         bad.write_text("{not json")
         out = io.StringIO()
         assert main(["run-custom", str(bad)], out=out) == 2
+
+    def test_reads_spec_from_stdin(self, monkeypatch):
+        spec = scenario_to_dict(fig2_scenario("dos"))
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(spec)))
+        out = io.StringIO()
+        assert main(["run-custom", "-"], out=out) == 0
+        assert "detection at k = 182 s" in out.getvalue()
+
+    def test_bad_stdin_exits_2(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("{not json"))
+        out = io.StringIO()
+        assert main(["run-custom", "-"], out=out) == 2
+        assert "<stdin>" in out.getvalue()
