@@ -237,6 +237,17 @@ REGISTRY: Tuple[Experiment, ...] = (
         kind="extension",
     ),
     Experiment(
+        identifier="telemetry-overhead",
+        title="Telemetry layer: disabled-path overhead and trace fidelity",
+        paper_claim="",
+        workload="Microbenchmark of the disabled span/counter gate "
+        "projected over a 16-spec batch (asserts <2% overhead), plus a "
+        "traced warm batch whose JSONL replays every run",
+        bench="bench_telemetry_overhead.py",
+        modules=("telemetry", "simulation.batch", "store"),
+        kind="extension",
+    ),
+    Experiment(
         identifier="follower-policy",
         title="Follower policy: hierarchical ACC vs plain IDM",
         paper_claim="",

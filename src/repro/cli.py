@@ -22,13 +22,23 @@ Commands
     ``cache stats``, ``cache clear``, ``cache export PATH`` and
     ``cache path``, each accepting ``--store PATH`` to address a
     non-default store file.
+``trace``
+    Inspect JSONL telemetry traces (:mod:`repro.telemetry`):
+    ``trace summary FILE`` prints the per-stage timing table,
+    ``trace export FILE DEST`` writes the aggregate as JSON.
 
 ``run``, ``run-custom`` and ``report`` accept ``--workers N`` to fan
 their independent runs out over a process pool (see
 :mod:`repro.simulation.batch`); output is identical to serial.  They
 also accept ``--cache`` / ``--no-cache`` (default: no cache) to serve
 previously computed runs from the store and persist new ones —
-cached output is byte-identical to uncached.
+cached output is byte-identical to uncached — plus ``--profile``
+(print the per-stage telemetry table after the command output) and
+``--trace PATH`` (write the JSONL telemetry trace to PATH).
+
+Every diagnostic (bad experiment id, unloadable spec, unreadable
+trace file) goes to **stderr**, so piped stdout stays machine-readable
+even when a command exits non-zero.
 """
 
 from __future__ import annotations
@@ -86,6 +96,21 @@ def _add_worker_and_cache_args(parser: argparse.ArgumentParser) -> None:
         dest="cache",
         action="store_false",
         help="bypass the run store (default)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="run with telemetry enabled and print the per-stage "
+        "timing table after the command output",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="trace_out",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL telemetry trace of the command to PATH "
+        "(inspect it with 'repro trace summary PATH')",
     )
 
 
@@ -161,6 +186,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "export":
             sub.add_argument("dest", help="output JSON path")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect JSONL telemetry traces"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="print the per-stage timing table of a trace"
+    )
+    trace_summary.add_argument("trace_file", help="JSONL trace path")
+    trace_export = trace_sub.add_parser(
+        "export", help="aggregate a trace and write the summary as JSON"
+    )
+    trace_export.add_argument("trace_file", help="JSONL trace path")
+    trace_export.add_argument("dest", help="output JSON path")
     return parser
 
 
@@ -294,11 +333,62 @@ def _run_cache(args: argparse.Namespace, out) -> int:
         store.close()
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+def _run_trace(args: argparse.Namespace, out, err) -> int:
+    """The ``repro trace`` command group (JSONL trace inspection)."""
+    from repro.telemetry import load_trace
+
+    try:
+        summary = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"could not read trace {args.trace_file}: {exc}", file=err)
+        return 2
+    if args.trace_command == "summary":
+        print(summary.render(), file=out)
+        return 0
+    if args.trace_command == "export":
+        import json
+        from pathlib import Path
+
+        document = {"trace": str(args.trace_file), **summary.as_dict()}
+        Path(args.dest).write_text(json.dumps(document, indent=2))
+        print(f"exported {summary.events} span events to {args.dest}", file=out)
+        return 0
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command!r}"
+    )  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    ``out`` receives command output; ``err`` (default ``sys.stderr``)
+    receives diagnostics, so piping stdout stays clean on failures.
+    """
     out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
     args = build_parser().parse_args(argv)
 
+    profiling = getattr(args, "profile", False) or getattr(args, "trace_out", None)
+    if not profiling:
+        return _dispatch(args, out, err)
+
+    from repro import telemetry
+
+    tele = telemetry.enable(args.trace_out)
+    try:
+        code = _dispatch(args, out, err)
+    finally:
+        telemetry.disable()
+    if args.profile:
+        print(file=out)
+        print(tele.summary().render(), file=out)
+    if args.trace_out:
+        print(f"wrote telemetry trace to {args.trace_out}", file=err)
+    return code
+
+
+def _dispatch(args: argparse.Namespace, out, err) -> int:
+    """Route a parsed command line to its implementation."""
     if args.command == "list":
         print(experiments_table(), file=out)
         return 0
@@ -307,7 +397,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         try:
             experiment = get_experiment(args.experiment)
         except KeyError as exc:
-            print(str(exc), file=out)
+            print(str(exc), file=err)
             return 2
         if args.experiment in _FIGURE_FACTORIES:
             return _run_figure(
@@ -337,7 +427,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                 scenario = load_scenario(args.spec)
         except Exception as exc:  # surface any spec problem as exit code 2
             source = "<stdin>" if args.spec == "-" else args.spec
-            print(f"could not load {source}: {exc}", file=out)
+            print(f"could not load {source}: {exc}", file=err)
             return 2
         data = run_figure_scenario(
             scenario, workers=args.workers, cache=_cache_mode(args)
@@ -373,6 +463,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
 
     if args.command == "cache":
         return _run_cache(args, out)
+
+    if args.command == "trace":
+        return _run_trace(args, out, err)
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -49,6 +49,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Sequence, Union
 
+from repro import telemetry as _telemetry
 from repro.exceptions import ConfigurationError
 from repro.simulation import batch as _batch
 from repro.simulation import monte_carlo as _monte_carlo
@@ -156,41 +157,46 @@ def run(
             f"{type(scenario).__name__}"
         )
 
-    if mode == "single":
-        if _cache_active(cache):
-            (result,) = _batch.run_many(
-                [
-                    _batch.RunSpec(
-                        scenario,
-                        attack_enabled=attack_enabled,
-                        defended=defended,
-                        tag=scenario.name,
-                    )
-                ],
-                cache=cache,
+    # PlatoonScenario has no name field; fall back to the type name.
+    label = getattr(scenario, "name", type(scenario).__name__)
+    with _telemetry.span("facade.run", mode=mode, scenario=label):
+        if mode == "single":
+            if _cache_active(cache):
+                (result,) = _batch.run_many(
+                    [
+                        _batch.RunSpec(
+                            scenario,
+                            attack_enabled=attack_enabled,
+                            defended=defended,
+                            tag=scenario.name,
+                        )
+                    ],
+                    cache=cache,
+                )
+                return result
+            return _runner.run_single(
+                scenario, attack_enabled=attack_enabled, defended=defended
             )
-            return result
-        return _runner.run_single(
-            scenario, attack_enabled=attack_enabled, defended=defended
-        )
-    if mode == "figure":
-        return _runner.run_figure_scenario(
-            scenario, workers=workers, cache=cache if _cache_active(cache) else None
-        )
-    if mode == "monte_carlo":
-        if seeds is None:
-            raise ConfigurationError("mode='monte_carlo' requires seeds")
-        if isinstance(seeds, int):
-            seeds = _batch.derive_seeds(scenario.sensor_seed, seeds)
-        return _monte_carlo.run_monte_carlo(
-            scenario,
-            seeds,
-            attack_enabled=attack_enabled,
-            defended=defended,
-            workers=workers,
-            cache=cache if _cache_active(cache) else None,
-        )
-    return _platoon.run_platoon(scenario, attack_enabled=attack_enabled)
+        if mode == "figure":
+            return _runner.run_figure_scenario(
+                scenario,
+                workers=workers,
+                cache=cache if _cache_active(cache) else None,
+            )
+        if mode == "monte_carlo":
+            if seeds is None:
+                raise ConfigurationError("mode='monte_carlo' requires seeds")
+            if isinstance(seeds, int):
+                seeds = _batch.derive_seeds(scenario.sensor_seed, seeds)
+            return _monte_carlo.run_monte_carlo(
+                scenario,
+                seeds,
+                attack_enabled=attack_enabled,
+                defended=defended,
+                workers=workers,
+                cache=cache if _cache_active(cache) else None,
+            )
+        return _platoon.run_platoon(scenario, attack_enabled=attack_enabled)
 
 
 def run_single(

@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.exceptions import ConfigurationError
 from repro.radar.equations import beat_frequencies, invert_beat_frequencies
 from repro.radar.link_budget import received_power
@@ -166,6 +167,13 @@ class FMCWRadarSensor:
         effect:
             The active attack's injection, or None.
         """
+        tele = _telemetry.current()
+        if tele is not None:
+            tele.incr("radar.measurements")
+            if not transmit:
+                tele.incr("radar.challenges")
+            if effect is not None:
+                tele.incr("radar.attacked_instants")
         dropped = (
             transmit
             and self.dropout_rate > 0.0
@@ -173,6 +181,8 @@ class FMCWRadarSensor:
             and self.rng.random() < self.dropout_rate
         )
         if dropped:
+            if tele is not None:
+                tele.incr("radar.dropouts")
             # Missed detection: the echo faded below the receiver's
             # threshold this instant (attacker jamming energy, when
             # present, still reaches the receiver and is never dropped).

@@ -22,9 +22,19 @@ output is bit-identical to ``workers=1``.  :func:`derive_seeds` offers
 a deterministic way to expand one base seed into per-run seeds.
 
 ``workers=1`` (the default) executes serially in-process with zero
-overhead; if the platform cannot spawn a process pool (restricted
-sandboxes, missing ``/dev/shm``, ...) the batch silently degrades to
-the serial path and records ``parallel=False``.
+overhead.  If the platform cannot spawn or sustain a process pool
+(restricted sandboxes, missing ``/dev/shm``, unpicklable payloads,
+...) the batch degrades to the serial path — never silently: a
+``RuntimeWarning`` is emitted and :attr:`BatchResult.degraded_reason`
+records the triggering pool-infrastructure error (``OSError``,
+``BrokenExecutor``, pickling failures).  Any *other* exception escaping
+the pool is a genuine bug and propagates instead of being retried
+serially.
+
+With an active :mod:`repro.telemetry` session, every executed spec
+emits one ``batch.run`` span (worker pid, queue wait, cache-hit flag,
+error status) and the batch-scoped aggregate is attached as
+:attr:`BatchResult.telemetry` (``None`` when telemetry is off).
 
 Determinism also makes runs *memoizable*: with ``cache=`` set to
 ``"readonly"`` or ``"readwrite"`` (or an explicit
@@ -37,17 +47,22 @@ from __future__ import annotations
 
 import operator
 import os
+import pickle
 import time
-from dataclasses import dataclass
+import warnings
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, replace
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulation.engine import CarFollowingSimulation
 from repro.simulation.results import SimulationResult
 from repro.simulation.platoon import PlatoonScenario, PlatoonSimulation
 from repro.simulation.scenario import Scenario
+from repro.telemetry.summary import TelemetrySummary
 
 __all__ = [
     "RunSpec",
@@ -108,6 +123,9 @@ class RunRecord:
     #: True when the payload was served from the run store
     #: (:mod:`repro.store`) instead of being simulated.
     cached: bool = False
+    #: Seconds between batch submission and the run starting (pool
+    #: scheduling latency; ~0 on the serial path and for cache hits).
+    queue_wait: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -121,6 +139,15 @@ class BatchResult:
     ``workers`` is the worker count actually used; ``parallel`` tells
     whether a process pool ran the batch (``False`` for the serial
     path, including pool-unavailable fallback).
+
+    ``degraded_reason`` is ``None`` for a batch that executed as
+    requested; when the process pool could not be created or broke on a
+    pool-infrastructure error, it holds that error rendered as
+    ``"ExcType: message"`` and the batch was re-run serially (a
+    ``RuntimeWarning`` is emitted at the same time, so the degradation
+    is never silent).  Errors *inside* a run never set it — they are
+    captured per-record — and non-infrastructure errors escaping the
+    pool propagate instead of degrading.
     """
 
     records: Tuple[RunRecord, ...]
@@ -130,6 +157,12 @@ class BatchResult:
     #: Runs served from the run store instead of being simulated
     #: (always 0 when executed with ``cache`` off).
     cache_hits: int = 0
+    #: Why the batch fell back to serial execution (``None`` if it
+    #: did not) — see the class docstring.
+    degraded_reason: Optional[str] = None
+    #: Batch-scoped telemetry aggregate (``None`` unless a
+    #: :mod:`repro.telemetry` session was active during execution).
+    telemetry: Optional[TelemetrySummary] = None
 
     def payloads(self) -> List[Any]:
         """The per-run payloads, in submission order."""
@@ -186,10 +219,21 @@ def derive_seeds(base_seed: int, n: int) -> Tuple[int, ...]:
 
 
 def _execute_spec(
-    item: Tuple[int, RunSpec], postprocess: Optional[Postprocess] = None
+    item: Tuple[int, RunSpec],
+    postprocess: Optional[Postprocess] = None,
+    submitted_at: Optional[float] = None,
 ) -> RunRecord:
-    """Run one spec (in a worker or inline) and capture the outcome."""
+    """Run one spec (in a worker or inline) and capture the outcome.
+
+    ``submitted_at`` is the parent's ``time.time()`` at batch
+    submission; the gap to the run actually starting is recorded as
+    ``queue_wait`` (wall clocks are comparable across processes on one
+    host, unlike ``perf_counter``).
+    """
     index, spec = item
+    queue_wait = (
+        max(0.0, time.time() - submitted_at) if submitted_at is not None else 0.0
+    )
     start = time.perf_counter()
     try:
         if isinstance(spec.scenario, PlatoonScenario):
@@ -214,6 +258,7 @@ def _execute_spec(
         elapsed=time.perf_counter() - start,
         worker_pid=os.getpid(),
         error=error,
+        queue_wait=queue_wait,
     )
 
 
@@ -224,9 +269,22 @@ def _default_chunksize(n_specs: int, workers: int) -> int:
 
 
 def _run_serial(
-    items: Sequence[Tuple[int, RunSpec]], postprocess: Optional[Postprocess]
+    items: Sequence[Tuple[int, RunSpec]],
+    postprocess: Optional[Postprocess],
+    submitted_at: Optional[float] = None,
 ) -> List[RunRecord]:
-    return [_execute_spec(item, postprocess) for item in items]
+    return [
+        _execute_spec(item, postprocess, submitted_at=submitted_at)
+        for item in items
+    ]
+
+
+#: Pool-infrastructure failures that justify re-running the batch
+#: serially: the pool could not be created (sandboxed ``/dev/shm``,
+#: fork limits, missing ``_multiprocessing``), broke mid-batch, or the
+#: payloads could not cross the process boundary.  Everything else is
+#: a real bug in the caller's code and must propagate.
+_POOL_INFRA_ERRORS = (OSError, ImportError, BrokenExecutor, pickle.PicklingError)
 
 
 def execute_batch(
@@ -265,13 +323,17 @@ def execute_batch(
 
     Errors inside a run are captured per-record (``RunRecord.error``);
     call :meth:`BatchResult.raise_on_error` to surface them.  If the
-    pool itself cannot be created or breaks (restricted sandbox), the
-    batch transparently re-runs serially.
+    pool itself cannot be created or breaks on a pool-infrastructure
+    error, the batch re-runs serially, warns, and records the cause in
+    :attr:`BatchResult.degraded_reason`; other errors propagate.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if not specs:
         return BatchResult(records=(), workers=workers, parallel=False, elapsed=0.0)
+
+    tele = _telemetry.current()
+    mark = tele.mark() if tele is not None else None
 
     binding = None
     if cache is not None and cache != "off":
@@ -279,20 +341,49 @@ def execute_batch(
 
         binding = resolve_cache(cache)
     if binding is None:
-        return _execute_batch_plain(
+        result = _execute_batch_plain(
             specs, workers=workers, chunksize=chunksize, postprocess=postprocess
         )
-    try:
-        return _execute_batch_cached(
-            specs,
-            binding,
-            workers=workers,
-            chunksize=chunksize,
-            postprocess=postprocess,
+    else:
+        try:
+            result = _execute_batch_cached(
+                specs,
+                binding,
+                workers=workers,
+                chunksize=chunksize,
+                postprocess=postprocess,
+            )
+        finally:
+            if binding.owns_store:
+                binding.store.close()
+
+    if tele is not None and mark is not None:
+        _emit_batch_telemetry(tele, result)
+        result = replace(result, telemetry=tele.summary_since(mark))
+    return result
+
+
+def _emit_batch_telemetry(tele: "_telemetry.Telemetry", result: BatchResult) -> None:
+    """One ``batch.run`` span per executed spec, plus batch counters."""
+    for record in result.records:
+        tele.emit(
+            "batch.run",
+            record.elapsed,
+            attrs={
+                "index": record.index,
+                "tag": record.tag,
+                "worker_pid": record.worker_pid,
+                "queue_wait": round(record.queue_wait, 6),
+                "cached": record.cached,
+                "ok": record.ok,
+            },
         )
-    finally:
-        if binding.owns_store:
-            binding.store.close()
+    tele.incr("batch.batches")
+    tele.incr("batch.runs", len(result.records))
+    if result.cache_hits:
+        tele.incr("batch.cache_hits", result.cache_hits)
+    if result.degraded_reason is not None:
+        tele.incr("batch.degraded")
 
 
 def _execute_batch_plain(
@@ -305,9 +396,10 @@ def _execute_batch_plain(
     """The store-free execution path (pre-cache behavior, unchanged)."""
     items = list(enumerate(specs))
     start = time.perf_counter()
+    submitted_at = time.time()
     effective = min(workers, len(items))
     if effective == 1:
-        records = _run_serial(items, postprocess)
+        records = _run_serial(items, postprocess, submitted_at=submitted_at)
         return BatchResult(
             records=tuple(records),
             workers=1,
@@ -315,11 +407,14 @@ def _execute_batch_plain(
             elapsed=time.perf_counter() - start,
         )
 
+    degraded_reason: Optional[str] = None
     try:
         import functools
         from concurrent.futures import ProcessPoolExecutor
 
-        call = functools.partial(_execute_spec, postprocess=postprocess)
+        call = functools.partial(
+            _execute_spec, postprocess=postprocess, submitted_at=submitted_at
+        )
         with ProcessPoolExecutor(max_workers=effective) as pool:
             records = list(
                 pool.map(
@@ -329,11 +424,21 @@ def _execute_batch_plain(
                 )
             )
         parallel = True
-    except Exception:
+    except _POOL_INFRA_ERRORS as exc:
         # Pool unavailable or broken (sandboxed /dev/shm, fork limits,
         # unpicklable payloads, ...): degrade to the serial path, which
-        # by construction produces identical results.
-        records = _run_serial(items, postprocess)
+        # by construction produces identical results — but say so, and
+        # record why.  Anything outside _POOL_INFRA_ERRORS is a real
+        # bug and propagates rather than silently discarding the pool's
+        # completed work.
+        degraded_reason = f"{type(exc).__name__}: {exc}"
+        warnings.warn(
+            f"process pool unavailable or broken ({degraded_reason}); "
+            f"re-running the {len(items)}-spec batch serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        records = _run_serial(items, postprocess, submitted_at=submitted_at)
         effective = 1
         parallel = False
     return BatchResult(
@@ -341,6 +446,7 @@ def _execute_batch_plain(
         workers=effective,
         parallel=parallel,
         elapsed=time.perf_counter() - start,
+        degraded_reason=degraded_reason,
     )
 
 
@@ -399,6 +505,7 @@ def _execute_batch_cached(
         )
 
     inner_workers, parallel = 1, False
+    degraded_reason: Optional[str] = None
     if misses:
         # Writers need the raw result back to store it; readers can let
         # the worker-side reducer shrink the payload as usual.
@@ -410,6 +517,7 @@ def _execute_batch_cached(
             postprocess=worker_postprocess,
         )
         inner_workers, parallel = inner.workers, inner.parallel
+        degraded_reason = inner.degraded_reason
         for (index, spec, fingerprint), record in zip(misses, inner.records):
             payload, error = record.payload, record.error
             if binding.writes and record.ok:
@@ -438,6 +546,7 @@ def _execute_batch_cached(
                 elapsed=record.elapsed,
                 worker_pid=record.worker_pid,
                 error=error,
+                queue_wait=record.queue_wait,
             )
 
     return BatchResult(
@@ -446,6 +555,7 @@ def _execute_batch_cached(
         parallel=parallel,
         elapsed=time.perf_counter() - start,
         cache_hits=len(items) - len(misses),
+        degraded_reason=degraded_reason,
     )
 
 

@@ -18,12 +18,19 @@ the run continues with the radar geometry floored at a small positive
 gap so that full-horizon traces remain comparable across runs (the
 paper's plots likewise continue past the unsafe approach; see
 DESIGN.md §7).
+
+With an active :mod:`repro.telemetry` session the loop accumulates
+per-stage wall-clock (``engine.sense`` / ``engine.estimate`` /
+``engine.control``, one span per stage per run); with telemetry off
+the instrumentation reduces to local ``None`` checks.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Tuple
 
+from repro import telemetry as _telemetry
 from repro.attacks.base import Attack
 from repro.core.adaptive_cra import AdaptiveChallengePolicy
 from repro.core.cra import ChallengeSchedule
@@ -211,7 +218,16 @@ class CarFollowingSimulation:
             attack_name=self.attack.label.value if self.attack else "none",
             defended=self.defended,
         )
+        # Per-stage timing is gated on an active telemetry session: when
+        # `tele` is None the loop pays one local None-check per stage
+        # and nothing else (bench_telemetry_overhead asserts the bound).
+        tele = _telemetry.current()
+        sense_s = estimate_s = control_s = 0.0
+        n_steps = 0
         for time in scenario.times():
+            if tele is not None:
+                n_steps += 1
+                t0 = perf_counter()
             true_gap = leader.position - follower.position
             if true_gap <= 0.0 and result.collision_time is None:
                 result.collision_time = time
@@ -243,9 +259,15 @@ class CarFollowingSimulation:
                 scenario.ego_speed_gain * follower.velocity
                 + scenario.ego_speed_bias
             )
+            if tele is not None:
+                t1 = perf_counter()
+                sense_s += t1 - t0
             view, estimated, attack_active = self._controller_view(
                 measurement, sensed_ego_speed
             )
+            if tele is not None:
+                t2 = perf_counter()
+                estimate_s += t2 - t1
             step = acc.step(follower.velocity, view)
 
             result.record(
@@ -275,6 +297,20 @@ class CarFollowingSimulation:
             follower = advance_state(
                 follower, step.actual_acceleration, scenario.sample_period
             )
+            if tele is not None:
+                control_s += perf_counter() - t2
+
+        if tele is not None:
+            # One span per stage per run: the radar + attack resolution
+            # ("sense"), the defense pipeline / coasting tracker
+            # ("estimate"), and the ACC + trace recording + kinematics
+            # ("control").
+            attrs = {"run": self.name, "steps": n_steps}
+            tele.emit("engine.sense", sense_s, attrs=dict(attrs))
+            tele.emit("engine.estimate", estimate_s, attrs=dict(attrs))
+            tele.emit("engine.control", control_s, attrs=dict(attrs))
+            tele.incr("engine.runs")
+            tele.incr("engine.steps", n_steps)
 
         if self.pipeline is not None:
             result.detection_events = self.pipeline.detection_events

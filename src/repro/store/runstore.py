@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.simulation.io import result_to_dict
 from repro.simulation.results import SimulationResult
 from repro.types import DetectionEvent, TimeSeries
@@ -227,20 +228,28 @@ class RunStore:
         defended: bool = True,
         sensor_seed: Optional[int] = None,
         horizon: Optional[float] = None,
-    ) -> None:
-        """Insert (or replace) one run under its fingerprint."""
+    ) -> bool:
+        """Insert one run under its fingerprint.
+
+        Content-addressing makes the row immutable: a fingerprint that
+        is already present is left untouched (``ON CONFLICT DO
+        NOTHING``), so a ``readwrite`` cache hit causes zero WAL churn
+        and the entry keeps its original ``created_at``.  Returns
+        whether a new row was written.
+        """
         from repro.store.fingerprint import STORE_SCHEMA_VERSION
 
         payload = _encode_payload(result)
         summary = json.dumps(result.summary().as_dict())
         conn = self._connect()
         with conn:
-            conn.execute(
-                "INSERT OR REPLACE INTO runs (fingerprint, schema_version, "
+            cursor = conn.execute(
+                "INSERT INTO runs (fingerprint, schema_version, "
                 "name, attack_enabled, defended, sensor_seed, horizon, "
                 "spec_json, summary_json, payload, payload_codec, "
                 "payload_bytes, created_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(fingerprint) DO NOTHING",
                 (
                     fingerprint,
                     STORE_SCHEMA_VERSION,
@@ -257,6 +266,15 @@ class RunStore:
                     time.time(),
                 ),
             )
+        written = cursor.rowcount > 0
+        tele = _telemetry.current()
+        if tele is not None:
+            if written:
+                tele.incr("store.writes")
+                tele.incr("store.write_bytes", len(payload))
+            else:
+                tele.incr("store.write_skips")
+        return written
 
     def get(self, fingerprint: str) -> Optional[SimulationResult]:
         """Fetch the run stored under ``fingerprint`` (``None`` on miss).
@@ -264,14 +282,22 @@ class RunStore:
         A store file that does not exist yet is an unconditional miss
         and is *not* created by reads.
         """
+        tele = _telemetry.current()
         if not self._path.exists():
+            if tele is not None:
+                tele.incr("store.misses")
             return None
         row = self._connect().execute(
             "SELECT payload, payload_codec FROM runs WHERE fingerprint = ?",
             (fingerprint,),
         ).fetchone()
         if row is None:
+            if tele is not None:
+                tele.incr("store.misses")
             return None
+        if tele is not None:
+            tele.incr("store.hits")
+            tele.incr("store.hit_bytes", len(row[0]))
         return _decode_payload(row[0], row[1])
 
     def __contains__(self, fingerprint: str) -> bool:

@@ -1,0 +1,261 @@
+"""Span / counter primitives of the telemetry subsystem.
+
+The whole API is gated on a module-level active :class:`Telemetry`
+instance.  When none is installed (the default), every entry point —
+:func:`span`, :func:`incr`, :func:`current` — reduces to one global
+read plus a ``None`` check, so instrumented hot paths (the engine step
+loop, the radar sensing path) pay effectively nothing; the measured
+bound is asserted by ``benchmarks/bench_telemetry_overhead.py``.
+
+When a session is active, finished spans are collected in memory (for
+:meth:`Telemetry.summary`) and, if a trace path was given, appended to
+a JSONL file — one JSON object per line, ``kind: "span"`` for timed
+events and a final ``kind: "counters"`` record written on close.  The
+file is only ever written by the process that opened it (forked pool
+workers inherit the handle but are fenced off by a pid check).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "current",
+    "enabled",
+    "enable",
+    "disable",
+    "session",
+    "span",
+    "incr",
+]
+
+PathLike = Union[str, "Path"]
+
+#: Snapshot of a session's progress — pass to
+#: :meth:`Telemetry.summary_since` to aggregate only what happened
+#: after :meth:`Telemetry.mark`.
+Mark = Tuple[int, Dict[str, float]]
+
+
+class _NullSpan:
+    """The disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: Shared singleton returned by :func:`span` when telemetry is off.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region, opened by :meth:`Telemetry.span`.
+
+    Use as a context manager; :meth:`set` attaches attributes that are
+    only known mid-flight (e.g. whether a lookup hit the cache).
+    """
+
+    __slots__ = ("_telemetry", "name", "attrs", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: Dict[str, Any]):
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = time.perf_counter()
+        self._telemetry.emit(
+            self.name,
+            end - self._start,
+            attrs=self.attrs,
+            start=self._start - self._telemetry.origin,
+        )
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+
+class Telemetry:
+    """One tracing/metrics session.
+
+    Collects finished span events (flat dicts with reserved keys
+    ``kind`` / ``name`` / ``t`` / ``dur``) and monotonic counters, and
+    optionally mirrors both to a JSONL trace file.
+    """
+
+    def __init__(self, trace_path: Optional[PathLike] = None) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.counters: Dict[str, float] = {}
+        self.origin = time.perf_counter()
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self._fh: Optional[IO[str]] = None
+        self._pid = os.getpid()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a timed region (use as a context manager)."""
+        return Span(self, name, attrs)
+
+    def emit(
+        self,
+        name: str,
+        duration: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        start: Optional[float] = None,
+    ) -> None:
+        """Record one finished span event.
+
+        ``start`` is the offset (seconds) from the session origin;
+        pass ``None`` for events reconstructed after the fact (e.g.
+        per-run batch spans assembled from worker records).
+        """
+        event: Dict[str, Any] = {"kind": "span", "name": name}
+        if start is not None:
+            event["t"] = round(start, 6)
+        event["dur"] = duration
+        if attrs:
+            event.update(attrs)
+        self.events.append(event)
+        self._write(event)
+
+    def incr(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to the counter called ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- aggregation ---------------------------------------------------
+
+    def mark(self) -> Mark:
+        """Snapshot the session (see :meth:`summary_since`)."""
+        return len(self.events), dict(self.counters)
+
+    def summary(self):
+        """Aggregate everything recorded so far."""
+        from repro.telemetry.summary import summarize
+
+        return summarize(self.events, self.counters)
+
+    def summary_since(self, mark: Mark):
+        """Aggregate only the events/counter deltas after ``mark``."""
+        from repro.telemetry.summary import summarize
+
+        n_events, counters_before = mark
+        deltas = {
+            name: value - counters_before.get(name, 0)
+            for name, value in self.counters.items()
+            if value != counters_before.get(name, 0)
+        }
+        return summarize(self.events[n_events:], deltas)
+
+    # -- trace file ----------------------------------------------------
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self.trace_path is None or os.getpid() != self._pid:
+            return
+        if self._fh is None:
+            self.trace_path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.trace_path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        """Flush the counters record and release the trace file."""
+        if self.trace_path is not None and self.counters:
+            self._write({"kind": "counters", "counters": dict(self.counters)})
+        if self._fh is not None and os.getpid() == self._pid:
+            self._fh.close()
+        self._fh = None
+
+
+# ----------------------------------------------------------------------
+# module-level gate (the fast path every instrumented site goes through)
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[Telemetry] = None
+
+
+def current() -> Optional[Telemetry]:
+    """The active session, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Whether a telemetry session is active."""
+    return _ACTIVE is not None
+
+
+def enable(trace_path: Optional[PathLike] = None) -> Telemetry:
+    """Install (and return) a fresh session as the active one.
+
+    Any previously active session is closed first.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = Telemetry(trace_path)
+    return _ACTIVE
+
+
+def disable() -> Optional[Telemetry]:
+    """Deactivate and close the active session; returns it (events and
+    counters stay readable in memory) or ``None`` if none was active."""
+    global _ACTIVE
+    active, _ACTIVE = _ACTIVE, None
+    if active is not None:
+        active.close()
+    return active
+
+
+@contextmanager
+def session(trace_path: Optional[PathLike] = None):
+    """Scoped telemetry: enable on entry, disable on exit.
+
+    >>> from repro import telemetry
+    >>> with telemetry.session() as tele:   # doctest: +SKIP
+    ...     repro.run(...)
+    ...     print(tele.summary().render())
+    """
+    tele = enable(trace_path)
+    try:
+        yield tele
+    finally:
+        global _ACTIVE
+        if _ACTIVE is tele:
+            disable()
+        else:  # someone re-enabled mid-session; just close ours
+            tele.close()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active session (no-op when telemetry is off)."""
+    active = _ACTIVE
+    if active is None:
+        return NULL_SPAN
+    return active.span(name, **attrs)
+
+
+def incr(name: str, n: float = 1) -> None:
+    """Bump a counter on the active session (no-op when telemetry is off)."""
+    active = _ACTIVE
+    if active is not None:
+        active.incr(name, n)

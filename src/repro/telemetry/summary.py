@@ -1,0 +1,184 @@
+"""Aggregation and rendering of telemetry events.
+
+A trace — whether in memory (:attr:`Telemetry.events`) or replayed
+from a JSONL file (:func:`load_trace`) — is a flat list of span events
+plus a counter map.  :func:`summarize` folds that into a
+:class:`TelemetrySummary`: per-span-name statistics (count, total,
+mean, min, max) ordered by total time, which is what the ``--profile``
+CLI flag and ``repro trace summary`` render as an ASCII table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+__all__ = [
+    "SpanStats",
+    "TelemetrySummary",
+    "summarize",
+    "load_trace",
+    "load_events",
+]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate statistics of all spans sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """Per-stage aggregate of one trace (or one slice of a session)."""
+
+    spans: Tuple[SpanStats, ...]
+    counters: Mapping[str, float]
+    events: int
+
+    def stage(self, name: str) -> SpanStats:
+        """Look one span name up; raises ``KeyError`` if absent."""
+        for stats in self.spans:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no spans named {name!r} in this summary")
+
+    def rows(self) -> List[dict]:
+        """Table rows (one per span name, busiest stage first)."""
+        total = sum(stats.total_s for stats in self.spans) or 1.0
+        return [
+            {
+                "stage": stats.name,
+                "count": stats.count,
+                "total_s": round(stats.total_s, 4),
+                "mean_ms": round(stats.mean_s * 1e3, 3),
+                "max_ms": round(stats.max_s * 1e3, 3),
+                "share": f"{100.0 * stats.total_s / total:.1f}%",
+            }
+            for stats in self.spans
+        ]
+
+    def render(self) -> str:
+        """The per-stage timing table (plus counters) as ASCII text."""
+        from repro.analysis.tables import render_table
+
+        text = render_table(self.rows(), title="telemetry: per-stage timing")
+        if self.counters:
+            counter_rows = [
+                {"counter": name, "value": value}
+                for name, value in sorted(self.counters.items())
+            ]
+            text += "\n\n" + render_table(
+                counter_rows, title="telemetry: counters", precision=0
+            )
+        return text
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (used by ``repro trace export``)."""
+        return {
+            "events": self.events,
+            "spans": [stats.as_dict() for stats in self.spans],
+            "counters": dict(self.counters),
+        }
+
+
+def summarize(
+    events: Iterable[Dict[str, Any]], counters: Mapping[str, float]
+) -> TelemetrySummary:
+    """Fold span events + counters into a :class:`TelemetrySummary`."""
+    stats: Dict[str, List[float]] = {}
+    n_events = 0
+    for event in events:
+        if event.get("kind", "span") != "span":
+            continue
+        n_events += 1
+        duration = float(event.get("dur", 0.0))
+        bucket = stats.setdefault(
+            event["name"], [0, 0.0, float("inf"), float("-inf")]
+        )
+        bucket[0] += 1
+        bucket[1] += duration
+        bucket[2] = min(bucket[2], duration)
+        bucket[3] = max(bucket[3], duration)
+    spans = tuple(
+        sorted(
+            (
+                SpanStats(
+                    name=name,
+                    count=int(count),
+                    total_s=total,
+                    min_s=lo,
+                    max_s=hi,
+                )
+                for name, (count, total, lo, hi) in stats.items()
+            ),
+            key=lambda s: s.total_s,
+            reverse=True,
+        )
+    )
+    return TelemetrySummary(
+        spans=spans, counters=dict(counters), events=n_events
+    )
+
+
+def load_trace(path: PathLike) -> TelemetrySummary:
+    """Parse a JSONL trace file back into a :class:`TelemetrySummary`.
+
+    Counter records (``kind: "counters"``) are merged by summation, so
+    traces appended across several sessions aggregate sensibly.
+    Raises ``FileNotFoundError`` / ``ValueError`` for missing or
+    malformed files.
+    """
+    events: List[Dict[str, Any]] = []
+    counters: Dict[str, float] = {}
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from None
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: expected a JSON object")
+        if record.get("kind") == "counters":
+            for name, value in record.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+        else:
+            events.append(record)
+    return summarize(events, counters)
+
+
+def load_events(path: PathLike) -> List[Dict[str, Any]]:
+    """The raw span events of a JSONL trace, in file order."""
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if isinstance(record, dict) and record.get("kind", "span") == "span":
+            events.append(record)
+    return events

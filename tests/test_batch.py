@@ -97,11 +97,47 @@ class TestExecuteBatch:
             concurrent.futures, "ProcessPoolExecutor", BrokenPool
         )
         specs = [RunSpec(FAST, tag=str(i)) for i in range(2)]
-        batch = execute_batch(specs, workers=4, postprocess=_min_gap)
+        with pytest.warns(RuntimeWarning, match="re-running the 2-spec batch"):
+            batch = execute_batch(specs, workers=4, postprocess=_min_gap)
         assert not batch.parallel and batch.workers == 1
+        assert batch.degraded_reason is not None
+        assert "OSError" in batch.degraded_reason
+        assert "no pool in this sandbox" in batch.degraded_reason
         assert batch.payloads() == execute_batch(
             specs, workers=1, postprocess=_min_gap
         ).payloads()
+
+    def test_healthy_batch_has_no_degraded_reason(self):
+        batch = execute_batch([RunSpec(FAST)], workers=1)
+        assert batch.degraded_reason is None
+
+    def test_non_infra_pool_error_propagates(self, monkeypatch):
+        """Regression: only pool-infrastructure failures may degrade.
+
+        A programming error escaping the pool used to be swallowed by the
+        bare ``except Exception`` and silently retried serially.
+        """
+        import concurrent.futures
+
+        class SabotagedPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, *args, **kwargs):
+                raise ValueError("logic bug, not an infra failure")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", SabotagedPool
+        )
+        specs = [RunSpec(FAST, tag=str(i)) for i in range(2)]
+        with pytest.raises(ValueError, match="logic bug"):
+            execute_batch(specs, workers=4)
 
     def test_default_chunksize(self):
         assert _default_chunksize(3, 4) == 1

@@ -63,8 +63,14 @@ class TestRegistry:
 class TestCLI:
     def run_cli(self, argv):
         out = io.StringIO()
-        code = main(argv, out=out)
+        code = main(argv, out=out, err=io.StringIO())
         return code, out.getvalue()
+
+    def run_cli_streams(self, argv):
+        """Like run_cli but also returns the diagnostics stream."""
+        out, err = io.StringIO(), io.StringIO()
+        code = main(argv, out=out, err=err)
+        return code, out.getvalue(), err.getvalue()
 
     def test_list(self):
         code, text = self.run_cli(["list"])
@@ -89,10 +95,11 @@ class TestCLI:
         assert code == 0
         assert "pytest benchmarks/bench_jammer_feasibility.py" in text
 
-    def test_run_unknown_experiment(self):
-        code, text = self.run_cli(["run", "fig9z"])
+    def test_run_unknown_experiment_diagnoses_on_stderr(self):
+        code, out, err = self.run_cli_streams(["run", "fig9z"])
         assert code == 2
-        assert "unknown experiment" in text
+        assert out == ""  # stdout stays clean for pipelines
+        assert "unknown experiment" in err
 
     def test_report(self):
         code, text = self.run_cli(["report"])
@@ -128,3 +135,92 @@ class TestCLI:
         code, text = self.run_cli(["run-custom", str(path), "--workers", "2"])
         assert code == 0
         assert "detection at k = 182 s" in text
+
+    def test_run_custom_bad_spec_keeps_stdout_empty(self, tmp_path):
+        """Regression: spec-load failures used to pollute stdout."""
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, out, err = self.run_cli_streams(["run-custom", str(bad)])
+        assert code == 2
+        assert out == ""
+        assert "could not load" in err and str(bad) in err
+
+    def test_run_custom_missing_spec_keeps_stdout_empty(self, tmp_path):
+        code, out, err = self.run_cli_streams(
+            ["run-custom", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert out == ""
+        assert "could not load" in err
+
+    def test_profile_flag_prints_stage_table(self, tmp_path):
+        from repro import fig2_scenario
+        from repro.simulation import save_scenario
+
+        path = save_scenario(
+            fig2_scenario("dos", horizon=20.0), tmp_path / "spec.json"
+        )
+        code, out, err = self.run_cli_streams(
+            ["run-custom", str(path), "--profile"]
+        )
+        assert code == 0
+        assert "telemetry: per-stage timing" in out
+        for stage in ("engine.sense", "engine.estimate", "engine.control",
+                      "batch.run", "facade.run"):
+            assert stage in out
+        assert "telemetry: counters" in out
+
+    def test_trace_flag_writes_jsonl_and_trace_commands_read_it(
+        self, tmp_path
+    ):
+        import json
+
+        from repro import fig2_scenario
+        from repro.simulation import save_scenario
+
+        spec = save_scenario(
+            fig2_scenario("dos", horizon=20.0), tmp_path / "spec.json"
+        )
+        trace = tmp_path / "trace.jsonl"
+        code, out, err = self.run_cli_streams(
+            ["run-custom", str(spec), "--trace", str(trace)]
+        )
+        assert code == 0
+        assert "telemetry" not in out  # table only with --profile
+        assert str(trace) in err
+        lines = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line.strip()
+        ]
+        assert any(r.get("name") == "batch.run" for r in lines)
+        assert lines[-1]["kind"] == "counters"
+
+        code, out, _ = self.run_cli_streams(["trace", "summary", str(trace)])
+        assert code == 0
+        assert "batch.run" in out
+
+        dest = tmp_path / "summary.json"
+        code, out, _ = self.run_cli_streams(
+            ["trace", "export", str(trace), str(dest)]
+        )
+        assert code == 0
+        document = json.loads(dest.read_text())
+        assert {"trace", "events", "spans", "counters"} <= set(document)
+        assert any(s["name"] == "engine.sense" for s in document["spans"])
+
+    def test_trace_summary_missing_file_diagnoses_on_stderr(self, tmp_path):
+        code, out, err = self.run_cli_streams(
+            ["trace", "summary", str(tmp_path / "missing.jsonl")]
+        )
+        assert code == 2
+        assert out == ""
+        assert "could not read trace" in err
+
+    def test_trace_summary_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind":"span"\nnot json\n')
+        code, out, err = self.run_cli_streams(["trace", "summary", str(bad)])
+        assert code == 2
+        assert out == ""
+        assert "not valid JSON" in err

@@ -191,6 +191,7 @@ class TestCLIRunCustom:
 
     def test_bad_stdin_exits_2(self, monkeypatch):
         monkeypatch.setattr("sys.stdin", io.StringIO("{not json"))
-        out = io.StringIO()
-        assert main(["run-custom", "-"], out=out) == 2
-        assert "<stdin>" in out.getvalue()
+        out, err = io.StringIO(), io.StringIO()
+        assert main(["run-custom", "-"], out=out, err=err) == 2
+        assert out.getvalue() == ""  # diagnostics go to stderr
+        assert "<stdin>" in err.getvalue()

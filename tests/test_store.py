@@ -164,12 +164,32 @@ class TestRunStore:
             assert store.clear() == 2
             assert len(store) == 0
 
-    def test_put_replaces(self, tmp_path):
-        result = repro.run_single(FAST)
+    def test_double_put_writes_once_and_preserves_original(self, tmp_path):
+        """Regression: ``put`` used INSERT OR REPLACE, so a concurrent
+        second writer deleted-and-rewrote the row, churning WAL pages and
+        resetting ``created_at``.  Rows are immutable now."""
+        result = repro.run_single(FAST, defended=True)
+        other = repro.run_single(FAST, defended=False)
         with RunStore(tmp_path / "s.sqlite") as store:
-            store.put("a" * 64, result)
-            store.put("a" * 64, result)
+            assert store.put("a" * 64, result) is True
+            created = store._connect().execute(
+                "SELECT created_at FROM runs WHERE fingerprint = ?",
+                ("a" * 64,),
+            ).fetchone()[0]
+            # Second put is a no-op, even with a different payload.
+            assert store.put("a" * 64, other) is False
             assert len(store) == 1
+            row = store._connect().execute(
+                "SELECT created_at FROM runs WHERE fingerprint = ?",
+                ("a" * 64,),
+            ).fetchone()
+            assert row[0] == created
+
+            # Replay still serves the first write, bit-identical.
+            loaded = store.get("a" * 64)
+        assert loaded.defended == result.defended
+        for name in result.traces:
+            assert loaded.traces[name].values == result.traces[name].values
 
     def test_export_inventory(self, tmp_path):
         result = repro.run_single(FAST)

@@ -1,0 +1,299 @@
+"""Telemetry subsystem: spans, counters, traces, and pipeline wiring."""
+
+import json
+
+import pytest
+
+import repro
+from repro import fig2_scenario
+from repro import telemetry
+from repro.simulation import RunSpec, execute_batch
+from repro.store import RunStore
+from repro.telemetry import (
+    NULL_SPAN,
+    Telemetry,
+    TelemetrySummary,
+    load_events,
+    load_trace,
+    summarize,
+)
+
+#: Short horizon keeps the attack window empty — fast, clean runs.
+FAST = fig2_scenario("dos", horizon=20.0)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with telemetry disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestGate:
+    def test_disabled_by_default(self):
+        assert telemetry.current() is None
+        assert not telemetry.enabled()
+
+    def test_disabled_span_is_shared_null_singleton(self):
+        assert telemetry.span("x") is NULL_SPAN
+        assert telemetry.span("y", a=1) is NULL_SPAN
+        with telemetry.span("z") as s:
+            assert s.set(hit=True) is NULL_SPAN
+
+    def test_disabled_incr_is_noop(self):
+        telemetry.incr("nope")  # must not raise, must not record anywhere
+        assert telemetry.current() is None
+
+    def test_enable_disable_cycle(self):
+        tele = telemetry.enable()
+        assert telemetry.current() is tele
+        assert telemetry.enabled()
+        assert telemetry.disable() is tele
+        assert telemetry.current() is None
+        assert telemetry.disable() is None  # idempotent
+
+    def test_session_scopes_activation(self):
+        with telemetry.session() as tele:
+            assert telemetry.current() is tele
+            telemetry.incr("inside")
+        assert telemetry.current() is None
+        assert tele.counters == {"inside": 1}
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.session():
+                raise RuntimeError("boom")
+        assert telemetry.current() is None
+
+
+class TestRecording:
+    def test_span_times_and_attributes(self):
+        tele = Telemetry()
+        with tele.span("work", tag="a") as s:
+            s.set(hit=True)
+        (event,) = tele.events
+        assert event["kind"] == "span"
+        assert event["name"] == "work"
+        assert event["tag"] == "a"
+        assert event["hit"] is True
+        assert event["dur"] >= 0.0
+        assert event["t"] >= 0.0
+
+    def test_counters_accumulate(self):
+        tele = Telemetry()
+        tele.incr("hits")
+        tele.incr("hits")
+        tele.incr("bytes", 512)
+        assert tele.counters == {"hits": 2, "bytes": 512}
+
+    def test_mark_and_summary_since(self):
+        tele = Telemetry()
+        tele.emit("before", 1.0)
+        tele.incr("n", 5)
+        mark = tele.mark()
+        tele.emit("after", 2.0)
+        tele.incr("n", 3)
+        summary = tele.summary_since(mark)
+        assert [s.name for s in summary.spans] == ["after"]
+        assert summary.counters == {"n": 3}
+        # Full summary still sees everything.
+        assert tele.summary().events == 2
+
+    def test_trace_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tele = Telemetry(path)
+        tele.emit("stage", 0.25, attrs={"run": "r0"}, start=0.1)
+        tele.incr("widgets", 4)
+        tele.close()
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0] == {
+            "kind": "span",
+            "name": "stage",
+            "t": 0.1,
+            "dur": 0.25,
+            "run": "r0",
+        }
+        assert lines[-1] == {"kind": "counters", "counters": {"widgets": 4}}
+
+        summary = load_trace(path)
+        assert summary.stage("stage").count == 1
+        assert summary.counters == {"widgets": 4}
+        assert load_events(path) == [lines[0]]
+
+    def test_no_trace_path_writes_nothing(self, tmp_path):
+        tele = Telemetry()
+        tele.emit("stage", 0.1)
+        tele.close()  # must not raise
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSummary:
+    def test_summarize_statistics(self):
+        events = [
+            {"kind": "span", "name": "a", "dur": 1.0},
+            {"kind": "span", "name": "a", "dur": 3.0},
+            {"kind": "span", "name": "b", "dur": 0.5},
+            {"kind": "counters", "counters": {"ignored": 1}},  # skipped
+        ]
+        summary = summarize(events, {"c": 2})
+        assert isinstance(summary, TelemetrySummary)
+        assert summary.events == 3
+        a = summary.stage("a")
+        assert (a.count, a.total_s, a.min_s, a.max_s, a.mean_s) == (
+            2,
+            4.0,
+            1.0,
+            3.0,
+            2.0,
+        )
+        # Busiest stage first.
+        assert [s.name for s in summary.spans] == ["a", "b"]
+        with pytest.raises(KeyError):
+            summary.stage("missing")
+
+    def test_render_and_rows(self):
+        summary = summarize(
+            [{"kind": "span", "name": "a", "dur": 2.0}], {"hits": 3}
+        )
+        (row,) = summary.rows()
+        assert row["stage"] == "a" and row["share"] == "100.0%"
+        text = summary.render()
+        assert "telemetry: per-stage timing" in text
+        assert "telemetry: counters" in text
+        assert "hits" in text
+
+    def test_as_dict_is_json_serializable(self):
+        summary = summarize([{"name": "a", "dur": 1.0}], {"n": 1})
+        assert json.loads(json.dumps(summary.as_dict()))["counters"] == {
+            "n": 1
+        }
+
+    def test_load_trace_merges_counter_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"kind":"counters","counters":{"n":2}}\n'
+            '{"kind":"counters","counters":{"n":3,"m":1}}\n'
+        )
+        assert load_trace(path).counters == {"n": 5, "m": 1}
+
+    def test_load_trace_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name":"ok","dur":1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2: not valid JSON"):
+            load_trace(path)
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_trace(path)
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "missing.jsonl")
+
+
+class TestPipelineWiring:
+    def test_batch_records_per_run_spans(self):
+        specs = [RunSpec(FAST, tag=str(i)) for i in range(3)]
+        with telemetry.session() as tele:
+            batch = execute_batch(specs, workers=1)
+        runs = [e for e in tele.events if e["name"] == "batch.run"]
+        assert len(runs) == 3
+        assert [e["tag"] for e in runs] == ["0", "1", "2"]
+        assert all(e["ok"] and not e["cached"] for e in runs)
+        assert all(e["worker_pid"] > 0 for e in runs)
+        assert all(e["queue_wait"] >= 0.0 for e in runs)
+        assert tele.counters["batch.batches"] == 1
+        assert tele.counters["batch.runs"] == 3
+        assert "batch.degraded" not in tele.counters
+
+        # The batch carries its own scoped aggregate too.
+        assert isinstance(batch.telemetry, TelemetrySummary)
+        assert batch.telemetry.stage("batch.run").count == 3
+
+    def test_batch_telemetry_none_when_disabled(self):
+        batch = execute_batch([RunSpec(FAST)], workers=1)
+        assert batch.telemetry is None
+
+    def test_engine_stage_spans_and_counters(self):
+        with telemetry.session() as tele:
+            repro.run_single(FAST)
+        names = {e["name"] for e in tele.events}
+        assert {"engine.sense", "engine.estimate", "engine.control"} <= names
+        # 20 s horizon at 1 s sample period → 21 control steps.
+        assert tele.counters["engine.steps"] == 21
+        assert tele.counters["engine.runs"] == 1
+        assert tele.counters["radar.measurements"] == 21
+        sense = next(e for e in tele.events if e["name"] == "engine.sense")
+        assert sense["steps"] == 21 and sense["dur"] > 0.0
+
+    def test_cache_hits_flagged_and_store_counters(self, tmp_path):
+        specs = [RunSpec(FAST, tag="t")]
+        with RunStore(tmp_path / "s.sqlite") as store:
+            with telemetry.session() as tele:
+                execute_batch(specs, cache=store)  # cold: compute + write
+                execute_batch(specs, cache=store)  # warm: replay
+        runs = [e for e in tele.events if e["name"] == "batch.run"]
+        assert [e["cached"] for e in runs] == [False, True]
+        assert tele.counters["batch.cache_hits"] == 1
+        assert tele.counters["store.writes"] == 1
+        assert tele.counters["store.hits"] == 1
+        assert tele.counters["store.misses"] == 1
+        assert tele.counters["store.write_bytes"] > 0
+        assert tele.counters["store.hit_bytes"] > 0
+
+    def test_store_skip_counter_on_duplicate_put(self, tmp_path):
+        result = repro.run_single(FAST)
+        with RunStore(tmp_path / "s.sqlite") as store:
+            with telemetry.session() as tele:
+                store.put("a" * 64, result)
+                store.put("a" * 64, result)
+        assert tele.counters["store.writes"] == 1
+        assert tele.counters["store.write_skips"] == 1
+
+    def test_facade_span_wraps_modes(self):
+        with telemetry.session() as tele:
+            repro.run(FAST, mode="figure")
+        facade = [e for e in tele.events if e["name"] == "facade.run"]
+        assert len(facade) == 1
+        assert facade[0]["mode"] == "figure"
+        assert facade[0]["scenario"] == FAST.name
+
+    def test_parallel_batch_traced_from_parent_only(self, tmp_path):
+        """Worker processes must never write to the parent's trace."""
+        path = tmp_path / "trace.jsonl"
+        specs = [
+            RunSpec(FAST.with_overrides(sensor_seed=s), tag=str(s))
+            for s in range(4)
+        ]
+        with telemetry.session(path) as tele:
+            batch = execute_batch(specs, workers=2, postprocess=_gap)
+        runs = [e for e in load_events(path) if e["name"] == "batch.run"]
+        assert len(runs) == 4
+        if batch.parallel:
+            # At least one run landed on a worker pid != parent's.
+            import os
+
+            assert any(e["worker_pid"] != os.getpid() for e in runs)
+        # Every line parses — no interleaved partial writes.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_degraded_batch_counted(self, monkeypatch):
+        import concurrent.futures
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no pool")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", BrokenPool
+        )
+        specs = [RunSpec(FAST, tag=str(i)) for i in range(2)]
+        with telemetry.session() as tele:
+            with pytest.warns(RuntimeWarning):
+                execute_batch(specs, workers=2)
+        assert tele.counters["batch.degraded"] == 1
+
+
+def _gap(spec, result):
+    """Module-level reducer (must be picklable for workers)."""
+    return round(result.min_gap(), 6)
