@@ -12,7 +12,7 @@ latency vs accuracy.
 import numpy as np
 
 from conftest import emit
-from repro import ChallengeSchedule, fig2_scenario, run_single
+from repro import ChallengeSchedule, fig2_scenario, run
 from repro.analysis import detection_confusion, detection_latency, render_table
 
 
@@ -26,7 +26,7 @@ def _evaluate(rate: float):
             horizon=300.0, rate=rate, seed=seed, min_gap=2.0, exclude_start=10.0
         )
         scenario = fig2_scenario("dos", challenge_times=tuple(schedule.times))
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         attack = scenario.attack
         latency = detection_latency(result, attack)
         next_challenge = schedule.next_challenge_at_or_after(attack.window.start)

@@ -17,7 +17,7 @@ from repro import (
     KalmanChannelPredictor,
     RadarChannelEstimator,
     fig2_scenario,
-    run_single,
+    run,
 )
 from repro.analysis import estimation_rmse, render_table
 from repro.simulation.scenario import DefenseConfig
@@ -37,7 +37,7 @@ def _evaluate(name, make_result):
     for seed in SEEDS:
         scenario = fig2_scenario("dos", sensor_seed=seed)
         result = make_result(seed)
-        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        baseline = run(scenario, attack_enabled=False, defended=False)
         gaps.append(result.min_gap())
         collisions += int(result.collided)
         rmses.append(

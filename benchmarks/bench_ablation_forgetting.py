@@ -16,7 +16,7 @@ emergency-brake variant.
 """
 
 from conftest import emit
-from repro import ConstantAccelerationProfile, fig2_scenario, run_figure_scenario
+from repro import ConstantAccelerationProfile, fig2_scenario, run
 from repro.analysis import estimation_rmse, render_table
 from repro.simulation.scenario import DefenseConfig
 
@@ -28,7 +28,7 @@ def _evaluate(forgetting: float, delta: float):
             forgetting=forgetting, delta=delta, adaptive_forgetting=False
         ),
     )
-    data = run_figure_scenario(scenario)
+    data = run(scenario, mode="figure")
     rmse = estimation_rmse(
         data.defended,
         data.baseline,
@@ -54,7 +54,7 @@ def _evaluate_vff(adaptive: bool, hard_brake: bool):
             name="hard-brake",
             leader_profile=ConstantAccelerationProfile(-1.0, start_time=160.0),
         )
-    data = run_figure_scenario(scenario)
+    data = run(scenario, mode="figure")
     return {
         "scenario": "emergency brake @160 s" if hard_brake else "paper fig2a",
         "vff": "on" if adaptive else "off",

@@ -8,7 +8,7 @@ scenario.
 """
 
 from conftest import emit
-from repro import ACCParameters, fig2_scenario, run_figure_scenario
+from repro import ACCParameters, fig2_scenario, run
 from repro.analysis import render_table
 
 
@@ -16,7 +16,7 @@ def _evaluate(headway: float):
     scenario = fig2_scenario(
         "dos", acc_params=ACCParameters(headway_time=headway)
     )
-    data = run_figure_scenario(scenario)
+    data = run(scenario, mode="figure")
     return {
         "headway_s": headway,
         "baseline_min_gap_m": round(data.baseline.min_gap(), 2),

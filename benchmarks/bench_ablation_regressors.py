@@ -12,7 +12,7 @@ over the 118 s horizon.
 import numpy as np
 
 from conftest import emit
-from repro import fig2_scenario, run_figure_scenario
+from repro import fig2_scenario, run
 from repro.analysis import estimation_rmse, render_table
 from repro.simulation.scenario import DefenseConfig
 
@@ -35,7 +35,7 @@ def _evaluate(label, kind, order):
             sensor_seed=seed,
             defense=DefenseConfig(basis_kind=kind, basis_order=order),
         )
-        data = run_figure_scenario(scenario)
+        data = run(scenario, mode="figure")
         gaps.append(data.defended.min_gap())
         collisions += int(data.defended.collided)
         rmses.append(

@@ -10,7 +10,7 @@ is unchanged; only recovery accelerates.
 """
 
 from conftest import emit
-from repro import AttackWindow, DoSJammingAttack, fig2_scenario, run_single
+from repro import AttackWindow, DoSJammingAttack, fig2_scenario, run
 from repro.analysis import render_table
 
 ATTACK_END = 230.0
@@ -22,7 +22,7 @@ def _evaluate(adaptive_period):
         attack=DoSJammingAttack(AttackWindow(182.0, ATTACK_END)),
         adaptive_challenge_period=adaptive_period,
     )
-    result = run_single(scenario, defended=True)
+    result = run(scenario, defended=True)
     clears = [
         e.time
         for e in result.detection_events

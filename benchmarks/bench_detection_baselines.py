@@ -24,7 +24,7 @@ from repro import (
     DelayInjectionAttack,
     SafetyEnvelopeDetector,
     fig2_scenario,
-    run_single,
+    run,
 )
 from repro.analysis import render_table
 
@@ -38,8 +38,8 @@ def _attacked_stream(ramp_time):
     scenario = fig2_scenario("delay").with_overrides(
         name=f"ramp-{ramp_time:.0f}", attack=attack
     )
-    defended = run_single(scenario, defended=True)
-    undefended = run_single(scenario, defended=False)
+    defended = run(scenario, defended=True)
+    undefended = run(scenario, defended=False)
     times = undefended.times
     measured = undefended.array("measured_distance")
     cra_detections = [t for t in defended.detection_times if t >= ONSET]

@@ -10,15 +10,15 @@ undefended policy, (b) the CRA+RLS defense is policy-agnostic, and
 """
 
 from conftest import emit
-from repro import fig2_scenario, run_single
+from repro import fig2_scenario, run
 from repro.analysis import render_table
 
 
 def _evaluate(policy: str, attack: str):
     scenario = fig2_scenario(attack, follower_policy=policy)
-    clean = run_single(scenario, attack_enabled=False, defended=False)
-    attacked = run_single(scenario, defended=False)
-    defended = run_single(scenario, defended=True)
+    clean = run(scenario, attack_enabled=False, defended=False)
+    attacked = run(scenario, defended=False)
+    defended = run(scenario, defended=True)
     return {
         "policy": policy,
         "attack": attack,

@@ -12,7 +12,7 @@ sides of that trade on the paper's scenarios:
 """
 
 from conftest import emit
-from repro import fig2_scenario, run_single
+from repro import fig2_scenario, run
 from repro.analysis import render_table
 from repro.core.fusion import run_redundant_defense
 
@@ -22,7 +22,7 @@ def bench_redundancy_comparison(benchmark):
         rows = []
         for kind, broadcast in (("delay", False), ("dos", True)):
             scenario = fig2_scenario(kind)
-            cra = run_single(scenario, defended=True)
+            cra = run(scenario, defended=True)
             n_attacked = 3 if broadcast else 1
             fused, fusion = run_redundant_defense(
                 scenario, n_sensors=3, n_attacked=n_attacked

@@ -22,7 +22,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import run_figure_scenario
+from repro import run
 from repro.analysis import ascii_plot, render_table
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -52,7 +52,7 @@ def _figure_data_cached(panel: str):
 
     factory = {"fig2": fig2_scenario, "fig3": fig3_scenario}[panel[:4]]
     attack = {"a": "dos", "b": "delay"}[panel[4]]
-    return run_figure_scenario(factory(attack))
+    return run(factory(attack), mode="figure")
 
 
 @pytest.fixture

@@ -20,7 +20,7 @@ from repro import (
     DoSJammingAttack,
     Scenario,
     StopAndGoProfile,
-    run_single,
+    run,
 )
 from repro.analysis import render_table
 from repro.simulation.scenario import DefenseConfig
@@ -81,7 +81,7 @@ def main() -> None:
         ("attacked", True, False),
         ("defended", True, True),
     ]:
-        result = run_single(scenario, attack_enabled=attack_enabled, defended=defended)
+        result = run(scenario, attack_enabled=attack_enabled, defended=defended)
         rows.append(
             {
                 "run": label,

@@ -10,7 +10,7 @@ after which RLS estimates replace the spoofed stream.
 
 import numpy as np
 
-from repro import DelayInjectionAttack, fig2_scenario, run_figure_scenario
+from repro import DelayInjectionAttack, fig2_scenario, run
 from repro.analysis import ascii_plot, render_table, safety_metrics
 
 
@@ -55,7 +55,7 @@ def main() -> None:
     scenario = fig2_scenario("delay")
     show_attack_geometry(scenario.attack)
 
-    data = run_figure_scenario(scenario)
+    data = run(scenario, mode="figure")
     show_gap_traces(data)
 
     rows = []

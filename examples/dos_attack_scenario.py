@@ -17,7 +17,7 @@ from repro import (
     JammerParameters,
     fig2_scenario,
     jamming_power_ratio,
-    run_figure_scenario,
+    run,
 )
 from repro.analysis import ascii_plot, render_table
 
@@ -68,7 +68,7 @@ def show_figure(data) -> None:
 
 def main() -> None:
     show_attack_feasibility()
-    data = run_figure_scenario(fig2_scenario("dos"))
+    data = run(fig2_scenario("dos"), mode="figure")
     show_figure(data)
     print(f"Detection: k = {data.detection_time():.0f} s")
     print(f"Attacked run: collision at t = {data.attacked.collision_time:.0f} s, "

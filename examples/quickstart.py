@@ -6,13 +6,13 @@ attack from k = 182 s) three ways — clean, attacked, and defended with
 CRA detection + RLS estimation — and prints the safety outcome of each.
 """
 
-from repro import fig2_scenario, run_figure_scenario
+from repro import fig2_scenario, run
 from repro.analysis import detection_confusion, render_table
 
 
 def main() -> None:
     scenario = fig2_scenario("dos")
-    data = run_figure_scenario(scenario)
+    data = run(scenario, mode="figure")
 
     rows = [
         data.baseline.summary().as_dict(),

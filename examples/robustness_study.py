@@ -12,7 +12,7 @@ unified ``repro.run()`` facade — results are identical to serial.
 import os
 
 import repro
-from repro import fig2_scenario, run_single
+from repro import fig2_scenario, run
 from repro.analysis import render_table
 from repro.simulation import run_monte_carlo
 
@@ -64,7 +64,7 @@ def dropout_sweep() -> None:
 def trust_assumption() -> None:
     rows = []
     for gain, bias in [(1.0, 0.0), (1.0, 1.0), (1.1, 0.0), (0.9, -0.5)]:
-        result = run_single(
+        result = run(
             fig2_scenario("dos", ego_speed_gain=gain, ego_speed_bias=bias),
             defended=True,
         )

@@ -226,6 +226,17 @@ REGISTRY: Tuple[Experiment, ...] = (
         kind="extension",
     ),
     Experiment(
+        identifier="vectorized-speedup",
+        title="Vectorized batch engine: lock-step vs scalar throughput",
+        paper_claim="",
+        workload="64-run fig2a Monte-Carlo sweep on backend='scalar' vs "
+        "backend='vectorized'; asserts bit-identical payloads and "
+        ">=10x speedup from the fused numpy step loop",
+        bench="bench_vectorized_speedup.py",
+        modules=("simulation.vectorized", "simulation.batch", "simulation.knobs"),
+        kind="extension",
+    ),
+    Experiment(
         identifier="cache-speedup",
         title="Content-addressed run store: warm-vs-cold report build",
         paper_claim="",

@@ -32,9 +32,12 @@ their independent runs out over a process pool (see
 :mod:`repro.simulation.batch`); output is identical to serial.  They
 also accept ``--cache`` / ``--no-cache`` (default: no cache) to serve
 previously computed runs from the store and persist new ones —
-cached output is byte-identical to uncached — plus ``--profile``
-(print the per-stage telemetry table after the command output) and
-``--trace PATH`` (write the JSONL telemetry trace to PATH).
+cached output is byte-identical to uncached — and ``--backend
+{auto,scalar,vectorized}`` to pick the simulation engine (default:
+the ``REPRO_BACKEND`` environment variable, else scalar; output is
+bit-identical across backends) — plus ``--profile`` (print the
+per-stage telemetry table after the command output) and ``--trace
+PATH`` (write the JSONL telemetry trace to PATH).
 
 Every diagnostic (bad experiment id, unloadable spec, unreadable
 trace file) goes to **stderr**, so piped stdout stays machine-readable
@@ -49,8 +52,9 @@ from typing import List, Optional
 
 from repro.analysis import ascii_plot, detection_confusion, render_table
 from repro.analysis.experiments import REGISTRY, experiments_table, get_experiment
-from repro.facade import run_figure_scenario
+from repro.facade import run as run_experiment
 from repro.simulation import fig2_scenario, fig3_scenario
+from repro.simulation.knobs import BACKENDS
 
 __all__ = ["main", "build_parser"]
 
@@ -96,6 +100,13 @@ def _add_worker_and_cache_args(parser: argparse.ArgumentParser) -> None:
         dest="cache",
         action="store_false",
         help="bypass the run store (default)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="simulation engine for the runs (default: $REPRO_BACKEND, "
+        "else scalar; output is bit-identical across backends)",
     )
     parser.add_argument(
         "--profile",
@@ -210,9 +221,12 @@ def _run_figure(
     out,
     workers: int = 1,
     cache: str = "off",
+    backend: Optional[str] = None,
 ) -> int:
     scenario = _FIGURE_FACTORIES[identifier]().with_overrides(sensor_seed=seed)
-    data = run_figure_scenario(scenario, workers=workers, cache=cache)
+    data = run_experiment(
+        scenario, mode="figure", workers=workers, cache=cache, backend=backend
+    )
     rows = [
         data.baseline.summary().as_dict(),
         data.attacked.summary().as_dict(),
@@ -267,11 +281,15 @@ def _run_figure(
     return 0
 
 
-def _run_report(out, workers: int = 1, cache: str = "off") -> int:
+def _run_report(
+    out, workers: int = 1, cache: str = "off", backend: Optional[str] = None
+) -> int:
     rows = []
     for identifier in ("fig2a", "fig2b", "fig3a", "fig3b"):
         scenario = _FIGURE_FACTORIES[identifier]()
-        data = run_figure_scenario(scenario, workers=workers, cache=cache)
+        data = run_experiment(
+            scenario, mode="figure", workers=workers, cache=cache, backend=backend
+        )
         confusion = detection_confusion(
             data.defended.detection_events, scenario.attack
         )
@@ -407,6 +425,7 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
                 out,
                 args.workers,
                 _cache_mode(args),
+                args.backend,
             )
         print(
             f"{experiment.identifier} is regenerated by its benchmark:\n"
@@ -429,8 +448,12 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
             source = "<stdin>" if args.spec == "-" else args.spec
             print(f"could not load {source}: {exc}", file=err)
             return 2
-        data = run_figure_scenario(
-            scenario, workers=args.workers, cache=_cache_mode(args)
+        data = run_experiment(
+            scenario,
+            mode="figure",
+            workers=args.workers,
+            cache=_cache_mode(args),
+            backend=args.backend,
         )
         rows = [
             data.baseline.summary().as_dict(),
@@ -454,12 +477,15 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
             seeds = list(range(args.seeds)) if args.seeds else None
             Path(args.markdown).write_text(
                 build_report(
-                    seeds=seeds, workers=args.workers, cache=_cache_mode(args)
+                    seeds=seeds,
+                    workers=args.workers,
+                    cache=_cache_mode(args),
+                    backend=args.backend,
                 )
             )
             print(f"wrote {args.markdown}", file=out)
             return 0
-        return _run_report(out, args.workers, _cache_mode(args))
+        return _run_report(out, args.workers, _cache_mode(args), args.backend)
 
     if args.command == "cache":
         return _run_cache(args, out)

@@ -169,9 +169,9 @@ class ChannelPredictor(Forecaster):
             # level for hundreds of samples.
             if warmed_up:
                 lam = self.rls.forgetting
-                self._residual_variance = (
-                    lam * self._residual_variance + (1.0 - lam) * step.error**2
-                )
+                self._residual_variance = lam * self._residual_variance + (
+                    1.0 - lam
+                ) * (step.error * step.error)
         self._history.append((time, value))
         self._rollout = []  # trusted data invalidates any rollout cache
 
@@ -191,7 +191,8 @@ class ChannelPredictor(Forecaster):
         if sigma <= 1e-12:
             return None
         error = value - self.rls.predict(regressor)
-        ratio = (error / (3.0 * sigma)) ** 2
+        normalized = error / (3.0 * sigma)
+        ratio = normalized * normalized
         factor = float(np.exp(-min(50.0, ratio)))
         return max(self.min_forgetting, self.rls.forgetting * factor)
 
@@ -253,7 +254,16 @@ class ChannelPredictor(Forecaster):
         if self.basis.uses_history:
             return 0.0
         regressor = self.basis.regressor(self._normalize(time), self._history)
-        scale = float(regressor @ self.rls.correlation @ regressor)
+        h = np.asarray(regressor, dtype=float).reshape(-1)
+        P = self.rls.correlation
+        if h.shape[0] == 2:
+            # Component-wise quadratic form hᵀ P h — fixed association,
+            # no BLAS/FMA, mirrored exactly by the vectorized engine.
+            u0 = h[0] * P[0, 0] + h[1] * P[1, 0]
+            u1 = h[0] * P[0, 1] + h[1] * P[1, 1]
+            scale = float(u0 * h[0] + u1 * h[1])
+        else:
+            scale = float(h @ P @ h)
         return float(np.sqrt(max(0.0, self._residual_variance * max(scale, 1.0))))
 
 

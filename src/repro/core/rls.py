@@ -119,6 +119,13 @@ class RLSEstimator:
     def predict(self, regressor: Sequence[float]) -> float:
         """A-priori prediction ``w^T h`` for a regressor ``h``."""
         h = np.asarray(regressor, dtype=float).reshape(self.n_params)
+        if self.n_params == 2:
+            # Component-wise dot product: plain IEEE multiply-adds with
+            # a fixed association, reproducible expression-for-expression
+            # by the vectorized batch engine (BLAS may contract w·h with
+            # FMA, which rounds differently).
+            w = self._weights
+            return float(w[0] * h[0] + w[1] * h[1])
         return float(self._weights @ h)
 
     def update(
@@ -137,6 +144,39 @@ class RLSEstimator:
         if not 0.0 < lam <= 1.0:
             raise ValueError(f"forgetting factor must lie in (0, 1], got {lam}")
         h = np.asarray(regressor, dtype=float).reshape(self.n_params)
+        if self.n_params == 2:
+            # Component-wise Algorithm 1 for the ubiquitous 2-parameter
+            # (linear-trend) case.  Plain IEEE multiply/add/divide with a
+            # fixed association — no BLAS (whose FMA contractions round
+            # differently) — so the vectorized batch engine can mirror
+            # the arithmetic expression-for-expression and stay
+            # bit-identical to this scalar path.
+            h0, h1 = h[0], h[1]
+            P = self._P
+            pi0 = P[0, 0] * h0 + P[0, 1] * h1
+            pi1 = P[1, 0] * h0 + P[1, 1] * h1
+            gamma = lam + (h0 * pi0 + h1 * pi1)
+            g0 = pi0 / gamma
+            g1 = pi1 / gamma
+            w = self._weights
+            prediction = float(w[0] * h0 + w[1] * h1)
+            error = float(observation) - prediction
+            self._weights = np.array([w[0] + g0 * error, w[1] + g1 * error])
+            # (P - g πᵀ)/λ, with the off-diagonal symmetrized exactly as
+            # the general path's 0.5 (P_new + P_newᵀ) does.
+            n00 = (P[0, 0] - g0 * pi0) / lam
+            n01 = (P[0, 1] - g0 * pi1) / lam
+            n10 = (P[1, 0] - g1 * pi0) / lam
+            n11 = (P[1, 1] - g1 * pi1) / lam
+            off = 0.5 * (n01 + n10)
+            self._P = np.array([[n00, off], [off, n11]])
+            self._updates += 1
+            return RLSUpdate(
+                prediction=prediction,
+                error=error,
+                gain=np.array([g0, g1]),
+                conversion_factor=float(gamma),
+            )
         pi = self._P @ h
         gamma = lam + float(h @ pi)
         gain = pi / gamma

@@ -38,16 +38,33 @@ seeds) out over a process pool via :mod:`repro.simulation.batch`;
 results are bit-identical to ``workers=1``.  Modes with a single run
 ignore it.
 
+Backends
+--------
+``backend=`` selects the engine executing the runs — ``"scalar"`` (the
+per-run step loop, default), ``"vectorized"`` (homogeneous groups
+advance in lock-step through :mod:`repro.simulation.vectorized`, with
+bit-identical results) or ``"auto"`` (vectorize what qualifies, scalar
+for the rest).  ``None`` reads the :envvar:`REPRO_BACKEND` environment
+variable, falling back to scalar.
+
+Deprecated aliases
+------------------
 The pre-existing names (``run_single``, ``run_figure_scenario``,
 ``run_monte_carlo``, ``run_platoon``) remain as thin aliases that
-delegate here, so existing imports keep working unchanged; prefer
-:func:`run` in new code.
+delegate here but are **deprecated** and emit ``DeprecationWarning``;
+migrate::
+
+    run_single(s, attack_enabled=a, defended=d)  →  run(s, attack_enabled=a, defended=d)
+    run_figure_scenario(s, workers=w)            →  run(s, mode="figure", workers=w)
+    run_monte_carlo(s, seeds, ...)               →  run(s, mode="monte_carlo", seeds=seeds, ...)
+    run_platoon(p, attack_enabled=a)             →  run(p, attack_enabled=a)
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
-from typing import Any, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro import telemetry as _telemetry
 from repro.exceptions import ConfigurationError
@@ -55,6 +72,7 @@ from repro.simulation import batch as _batch
 from repro.simulation import monte_carlo as _monte_carlo
 from repro.simulation import platoon as _platoon
 from repro.simulation import runner as _runner
+from repro.simulation.knobs import resolve_backend, validate_workers
 from repro.simulation.monte_carlo import MonteCarloSummary
 from repro.simulation.platoon import PlatoonResult, PlatoonScenario
 from repro.simulation.results import SimulationResult
@@ -106,6 +124,7 @@ def run(
     attack_enabled: bool = True,
     defended: bool = True,
     cache: Any = "off",
+    backend: Optional[str] = None,
 ) -> Union[SimulationResult, FigureData, MonteCarloSummary, PlatoonResult]:
     """Run an experiment described by a scenario or a declarative spec.
 
@@ -142,8 +161,19 @@ def run(
         :class:`repro.store.CacheBinding` selects an explicit store.
         Cached replays are bit-identical to fresh runs.  Platoon runs
         are uncacheable and always compute.
+    backend:
+        Engine selection, shared verbatim with
+        :func:`repro.simulation.batch.execute_batch`: ``"scalar"``,
+        ``"vectorized"``, ``"auto"``, or ``None`` (default — read
+        :envvar:`REPRO_BACKEND`, else scalar).  Results are
+        bit-identical across backends.  ``"vectorized"`` raises
+        :class:`~repro.exceptions.ConfigurationError` for runs the
+        vectorized engine cannot take (platoons, IDM followers, ...);
+        ``"auto"`` runs those on the scalar engine instead.
     """
     scenario = _resolve_scenario(scenario_or_spec)
+    workers = validate_workers(workers)
+    backend = resolve_backend(backend)
 
     if isinstance(scenario, PlatoonScenario) and mode == "single":
         mode = "platoon"
@@ -156,12 +186,18 @@ def run(
             f"mode {mode!r} does not fit scenario type "
             f"{type(scenario).__name__}"
         )
+    if mode == "platoon" and backend == "vectorized":
+        raise ConfigurationError(
+            "backend='vectorized' cannot run platoon scenarios (the "
+            "N-follower chain couples its runs); use backend='scalar' "
+            "or 'auto'"
+        )
 
     # PlatoonScenario has no name field; fall back to the type name.
     label = getattr(scenario, "name", type(scenario).__name__)
     with _telemetry.span("facade.run", mode=mode, scenario=label):
         if mode == "single":
-            if _cache_active(cache):
+            if _cache_active(cache) or backend == "vectorized":
                 (result,) = _batch.run_many(
                     [
                         _batch.RunSpec(
@@ -171,9 +207,13 @@ def run(
                             tag=scenario.name,
                         )
                     ],
-                    cache=cache,
+                    cache=cache if _cache_active(cache) else None,
+                    backend=backend,
                 )
                 return result
+            # "auto" keeps a lone run on the scalar engine (a vector
+            # group of one has no lock-step win), so the scalar path
+            # handles both "scalar" and "auto".
             return _runner.run_single(
                 scenario, attack_enabled=attack_enabled, defended=defended
             )
@@ -182,6 +222,7 @@ def run(
                 scenario,
                 workers=workers,
                 cache=cache if _cache_active(cache) else None,
+                backend=backend,
             )
         if mode == "monte_carlo":
             if seeds is None:
@@ -195,14 +236,29 @@ def run(
                 defended=defended,
                 workers=workers,
                 cache=cache if _cache_active(cache) else None,
+                backend=backend,
             )
         return _platoon.run_platoon(scenario, attack_enabled=attack_enabled)
+
+
+def _warn_deprecated_alias(name: str, replacement: str) -> None:
+    """One ``DeprecationWarning`` per alias call, pointing at the caller."""
+    warnings.warn(
+        f"repro.{name}() is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_single(
     scenario: Scenario, attack_enabled: bool = True, defended: bool = True
 ) -> SimulationResult:
-    """Alias for ``run(scenario, mode='single', ...)`` (original API)."""
+    """Deprecated alias for ``run(scenario, ...)`` (original API).
+
+    .. deprecated:: 1.1
+       Use ``repro.run(scenario, attack_enabled=..., defended=...)``.
+    """
+    _warn_deprecated_alias("run_single", "repro.run(scenario, ...)")
     return run(
         scenario, mode="single", attack_enabled=attack_enabled, defended=defended
     )
@@ -211,7 +267,14 @@ def run_single(
 def run_figure_scenario(
     scenario: Scenario, *, workers: int = 1, cache: Any = "off"
 ) -> FigureData:
-    """Alias for ``run(scenario, mode='figure', ...)`` (original API)."""
+    """Deprecated alias for ``run(scenario, mode='figure', ...)``.
+
+    .. deprecated:: 1.1
+       Use ``repro.run(scenario, mode="figure", ...)``.
+    """
+    _warn_deprecated_alias(
+        "run_figure_scenario", 'repro.run(scenario, mode="figure", ...)'
+    )
     return run(scenario, mode="figure", workers=workers, cache=cache)
 
 
@@ -223,7 +286,14 @@ def run_monte_carlo(
     workers: int = 1,
     cache: Any = "off",
 ) -> MonteCarloSummary:
-    """Alias for ``run(scenario, mode='monte_carlo', ...)`` (original API)."""
+    """Deprecated alias for ``run(scenario, mode='monte_carlo', ...)``.
+
+    .. deprecated:: 1.1
+       Use ``repro.run(scenario, mode="monte_carlo", seeds=...)``.
+    """
+    _warn_deprecated_alias(
+        "run_monte_carlo", 'repro.run(scenario, mode="monte_carlo", seeds=...)'
+    )
     return run(
         scenario,
         mode="monte_carlo",
@@ -238,5 +308,10 @@ def run_monte_carlo(
 def run_platoon(
     scenario: PlatoonScenario, attack_enabled: bool = True
 ) -> PlatoonResult:
-    """Alias for ``run(scenario, mode='platoon', ...)``."""
+    """Deprecated alias for ``run(scenario, mode='platoon', ...)``.
+
+    .. deprecated:: 1.1
+       Use ``repro.run(scenario, ...)`` (platoon mode is auto-selected).
+    """
+    _warn_deprecated_alias("run_platoon", "repro.run(scenario, ...)")
     return run(scenario, mode="platoon", attack_enabled=attack_enabled)

@@ -90,7 +90,11 @@ def received_power(
         raise ValueError(f"radar cross-section must be positive, got {sigma}")
     gain = params.antenna_gain
     numerator = params.transmit_power * gain * gain * params.wavelength**2 * sigma
-    denominator = _FOUR_PI**3 * distance**4 * params.system_loss
+    # d⁴ as (d·d)·(d·d): plain IEEE multiplies reproduce bit-for-bit on
+    # numpy arrays, unlike pow (libm pow and numpy's vector power round
+    # a handful of ULPs apart).
+    distance_sq = distance * distance
+    denominator = _FOUR_PI**3 * (distance_sq * distance_sq) * params.system_loss
     return numerator / denominator
 
 
@@ -112,7 +116,7 @@ def jammer_received_power(
         * params.antenna_gain
         * band_fraction
     )
-    denominator = _FOUR_PI**2 * distance**2 * jammer.loss
+    denominator = _FOUR_PI**2 * (distance * distance) * jammer.loss
     return numerator / denominator
 
 

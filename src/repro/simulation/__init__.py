@@ -10,6 +10,11 @@
   (baseline / attacked / defended) triple each figure plots.
 * :mod:`repro.simulation.batch` — parallel batch execution of
   independent runs (the substrate behind every ``workers=`` kwarg).
+* :mod:`repro.simulation.vectorized` — the lock-step batch engine
+  behind ``backend="vectorized"`` / ``"auto"`` (bit-identical to the
+  scalar engine, one numpy pass per step for a homogeneous group).
+* :mod:`repro.simulation.knobs` — shared validation of the
+  ``workers=`` / ``cache=`` / ``backend=`` execution knobs.
 """
 
 from repro.simulation.scenario import (
@@ -36,6 +41,12 @@ from repro.simulation.batch import (
     execute_batch,
     run_many,
 )
+from repro.simulation.knobs import BACKENDS, resolve_backend
+from repro.simulation.vectorized import (
+    group_key,
+    run_group_vectorized,
+    vectorization_blocker,
+)
 from repro.simulation.io import (
     export_csv,
     export_json,
@@ -44,6 +55,7 @@ from repro.simulation.io import (
     result_to_dict,
 )
 from repro.simulation.spec import (
+    SPEC_VERSION,
     load_scenario,
     save_scenario,
     scenario_from_dict,
@@ -77,6 +89,11 @@ __all__ = [
     "execute_batch",
     "run_many",
     "derive_seeds",
+    "BACKENDS",
+    "resolve_backend",
+    "vectorization_blocker",
+    "group_key",
+    "run_group_vectorized",
     "export_csv",
     "export_json",
     "load_json",
@@ -85,6 +102,7 @@ __all__ = [
     "run_monte_carlo",
     "MonteCarloSummary",
     "SeedOutcome",
+    "SPEC_VERSION",
     "scenario_to_dict",
     "scenario_from_dict",
     "save_scenario",

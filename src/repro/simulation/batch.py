@@ -41,6 +41,15 @@ Determinism also makes runs *memoizable*: with ``cache=`` set to
 :class:`repro.store.RunStore`), each spec is fingerprinted via
 :mod:`repro.store.fingerprint` and store hits skip simulation entirely
 — the replayed payload is bit-identical to a fresh run.
+
+The ``backend=`` knob selects the engine (see
+:mod:`repro.simulation.knobs`): ``"scalar"`` is the per-run engine
+described above; ``"vectorized"`` advances homogeneous groups of runs
+in lock-step through :mod:`repro.simulation.vectorized` (bit-identical
+results, one numpy pass per step instead of N python step loops);
+``"auto"`` vectorizes the groups that qualify and runs the rest on the
+scalar path, recording the choice per run in
+:attr:`RunRecord.backend_used`.
 """
 
 from __future__ import annotations
@@ -59,6 +68,7 @@ import numpy as np
 from repro import telemetry as _telemetry
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulation.engine import CarFollowingSimulation
+from repro.simulation.knobs import resolve_backend, validate_workers
 from repro.simulation.results import SimulationResult
 from repro.simulation.platoon import PlatoonScenario, PlatoonSimulation
 from repro.simulation.scenario import Scenario
@@ -126,6 +136,10 @@ class RunRecord:
     #: Seconds between batch submission and the run starting (pool
     #: scheduling latency; ~0 on the serial path and for cache hits).
     queue_wait: float = 0.0
+    #: Which engine executed the run: ``"scalar"`` or ``"vectorized"``.
+    #: ``None`` when nothing executed (the payload replayed from the
+    #: run store).
+    backend_used: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -259,6 +273,7 @@ def _execute_spec(
         worker_pid=os.getpid(),
         error=error,
         queue_wait=queue_wait,
+        backend_used="scalar",
     )
 
 
@@ -294,6 +309,7 @@ def execute_batch(
     chunksize: Optional[int] = None,
     postprocess: Optional[Postprocess] = None,
     cache: Any = None,
+    backend: Optional[str] = None,
 ) -> BatchResult:
     """Execute independent runs, fanning out over a process pool.
 
@@ -302,8 +318,9 @@ def execute_batch(
     specs:
         The runs; results come back in the same order.
     workers:
-        Process count.  ``1`` (default) runs serially in-process; more
-        than ``len(specs)`` is clamped.
+        Process count for the scalar engine.  ``1`` (default) runs
+        serially in-process; more than ``len(specs)`` is clamped.
+        Vectorized groups always execute in the calling process.
     chunksize:
         Specs handed to a worker per dispatch; defaults to
         ``len(specs) // (workers * 4)`` (at least 1).
@@ -320,6 +337,16 @@ def execute_batch(
         :class:`~repro.store.CacheBinding` selects an explicit store.
         Results are bit-identical in every mode; only wall-clock
         changes.  Uncacheable specs (platoons) always compute.
+    backend:
+        Engine selection (see :mod:`repro.simulation.knobs`):
+        ``"scalar"``, ``"vectorized"``, ``"auto"``, or ``None``
+        (default — reads :envvar:`REPRO_BACKEND`, else scalar).
+        ``"vectorized"`` requires every spec to be vectorizable and
+        raises :class:`~repro.exceptions.ConfigurationError` naming
+        the blocking feature otherwise; ``"auto"`` silently runs
+        non-qualifying specs on the scalar engine.  Results are
+        bit-identical across backends; each record's
+        :attr:`RunRecord.backend_used` says which engine ran it.
 
     Errors inside a run are captured per-record (``RunRecord.error``);
     call :meth:`BatchResult.raise_on_error` to surface them.  If the
@@ -327,8 +354,8 @@ def execute_batch(
     error, the batch re-runs serially, warns, and records the cause in
     :attr:`BatchResult.degraded_reason`; other errors propagate.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = validate_workers(workers)
+    backend = resolve_backend(backend)
     if not specs:
         return BatchResult(records=(), workers=workers, parallel=False, elapsed=0.0)
 
@@ -342,7 +369,11 @@ def execute_batch(
         binding = resolve_cache(cache)
     if binding is None:
         result = _execute_batch_plain(
-            specs, workers=workers, chunksize=chunksize, postprocess=postprocess
+            specs,
+            workers=workers,
+            chunksize=chunksize,
+            postprocess=postprocess,
+            backend=backend,
         )
     else:
         try:
@@ -352,6 +383,7 @@ def execute_batch(
                 workers=workers,
                 chunksize=chunksize,
                 postprocess=postprocess,
+                backend=backend,
             )
         finally:
             if binding.owns_store:
@@ -376,6 +408,7 @@ def _emit_batch_telemetry(tele: "_telemetry.Telemetry", result: BatchResult) -> 
                 "queue_wait": round(record.queue_wait, 6),
                 "cached": record.cached,
                 "ok": record.ok,
+                "backend": record.backend_used,
             },
         )
     tele.incr("batch.batches")
@@ -392,8 +425,17 @@ def _execute_batch_plain(
     workers: int,
     chunksize: Optional[int],
     postprocess: Optional[Postprocess],
+    backend: str = "scalar",
 ) -> BatchResult:
     """The store-free execution path (pre-cache behavior, unchanged)."""
+    if backend != "scalar":
+        return _execute_batch_vector(
+            specs,
+            workers=workers,
+            chunksize=chunksize,
+            postprocess=postprocess,
+            backend=backend,
+        )
     items = list(enumerate(specs))
     start = time.perf_counter()
     submitted_at = time.time()
@@ -450,6 +492,133 @@ def _execute_batch_plain(
     )
 
 
+def _run_vector_group(
+    members: Sequence[Tuple[int, RunSpec]],
+    postprocess: Optional[Postprocess],
+) -> Optional[List[RunRecord]]:
+    """Execute one homogeneous group on the vectorized engine.
+
+    Returns the group's records (submission indices preserved), or
+    ``None`` — after a ``RuntimeWarning`` — when the engine raised, so
+    the caller re-runs the group on the scalar engine.  A vectorized
+    group cannot attribute a mid-loop exception to a single run, while
+    the scalar re-run captures errors per-record as usual (and, by the
+    equivalence contract, produces the same payloads for the runs that
+    succeed).
+    """
+    from repro.simulation.vectorized import run_group_vectorized
+
+    start = time.perf_counter()
+    try:
+        results = run_group_vectorized([spec for _, spec in members])
+    except Exception as exc:
+        warnings.warn(
+            f"vectorized group of {len(members)} runs failed "
+            f"({type(exc).__name__}: {exc}); re-running the group on the "
+            f"scalar engine",
+            RuntimeWarning,
+            stacklevel=5,
+        )
+        return None
+    # One lock-step loop produced the whole group; attribute the group's
+    # wall-clock evenly (per-run stage timing has no meaning here).
+    per_run = (time.perf_counter() - start) / len(members)
+    records: List[RunRecord] = []
+    for (index, spec), result in zip(members, results):
+        if postprocess is None:
+            payload, error = result, None
+        else:
+            payload, error = _apply_postprocess(postprocess, spec, result)
+        records.append(
+            RunRecord(
+                index=index,
+                tag=spec.tag,
+                payload=payload,
+                elapsed=per_run,
+                worker_pid=os.getpid(),
+                error=error,
+                backend_used="vectorized",
+            )
+        )
+    return records
+
+
+def _execute_batch_vector(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int,
+    chunksize: Optional[int],
+    postprocess: Optional[Postprocess],
+    backend: str,
+) -> BatchResult:
+    """Dispatch a batch under ``backend='vectorized'`` or ``'auto'``.
+
+    Specs are partitioned into homogeneous vector groups (same scenario
+    up to ``sensor_seed``/``name``, same toggles — see
+    :func:`repro.simulation.vectorized.group_key`) and a scalar
+    remainder.  Strict ``"vectorized"`` refuses any remainder up front,
+    naming the blocking feature; ``"auto"`` additionally leaves
+    singleton groups on the scalar engine (no lock-step win for one
+    run) and re-runs a group on the scalar engine if the vectorized
+    engine raises.  The scalar remainder goes through the ordinary
+    pool/serial machinery, so ``workers`` keeps its meaning there.
+    """
+    from repro.simulation.vectorized import group_key, vectorization_blocker
+
+    start = time.perf_counter()
+    items = list(enumerate(specs))
+    groups: dict = {}
+    scalar_items: List[Tuple[int, RunSpec]] = []
+    for index, spec in items:
+        blocker = vectorization_blocker(spec)
+        if blocker is not None:
+            if backend == "vectorized":
+                tag = f" (tag {spec.tag!r})" if spec.tag else ""
+                raise ConfigurationError(
+                    f"backend='vectorized' cannot execute spec {index}{tag}: "
+                    f"{blocker}; use backend='auto' to fall back to the "
+                    f"scalar engine"
+                )
+            scalar_items.append((index, spec))
+            continue
+        groups.setdefault(group_key(spec), []).append((index, spec))
+    if backend == "auto":
+        # A singleton gains nothing from lock-step; keep it scalar.
+        for key in [k for k, members in groups.items() if len(members) < 2]:
+            scalar_items.extend(groups.pop(key))
+
+    records: dict = {}
+    for members in groups.values():
+        group_records = _run_vector_group(members, postprocess)
+        if group_records is None:
+            scalar_items.extend(members)
+        else:
+            for record in group_records:
+                records[record.index] = record
+
+    parallel, degraded_reason, effective = False, None, 1
+    if scalar_items:
+        scalar_items.sort()
+        inner = _execute_batch_plain(
+            [spec for _, spec in scalar_items],
+            workers=workers,
+            chunksize=chunksize,
+            postprocess=postprocess,
+            backend="scalar",
+        )
+        parallel, degraded_reason = inner.parallel, inner.degraded_reason
+        effective = inner.workers
+        for (index, _), record in zip(scalar_items, inner.records):
+            records[index] = replace(record, index=index)
+    return BatchResult(
+        records=tuple(records[index] for index, _ in items),
+        workers=effective,
+        parallel=parallel,
+        elapsed=time.perf_counter() - start,
+        degraded_reason=degraded_reason,
+    )
+
+
 def _apply_postprocess(
     postprocess: Postprocess, spec: RunSpec, result: Any
 ) -> Tuple[Any, Optional[str]]:
@@ -467,6 +636,7 @@ def _execute_batch_cached(
     workers: int,
     chunksize: Optional[int],
     postprocess: Optional[Postprocess],
+    backend: str = "scalar",
 ) -> BatchResult:
     """Serve fingerprint hits from the run store; compute the misses.
 
@@ -515,6 +685,7 @@ def _execute_batch_cached(
             workers=workers,
             chunksize=chunksize,
             postprocess=worker_postprocess,
+            backend=backend,
         )
         inner_workers, parallel = inner.workers, inner.parallel
         degraded_reason = inner.degraded_reason
@@ -547,6 +718,7 @@ def _execute_batch_cached(
                 worker_pid=record.worker_pid,
                 error=error,
                 queue_wait=record.queue_wait,
+                backend_used=record.backend_used,
             )
 
     return BatchResult(
@@ -566,11 +738,13 @@ def run_many(
     chunksize: Optional[int] = None,
     postprocess: Optional[Postprocess] = None,
     cache: Any = None,
+    backend: Optional[str] = None,
 ) -> List[Any]:
     """Execute a batch and return just the ordered payloads.
 
     Raises :class:`SimulationError` if any run failed.  ``cache``
-    selects the run-store policy (see :func:`execute_batch`).
+    selects the run-store policy and ``backend`` the engine (see
+    :func:`execute_batch` — both knobs have identical semantics here).
     """
     return (
         execute_batch(
@@ -579,6 +753,7 @@ def run_many(
             chunksize=chunksize,
             postprocess=postprocess,
             cache=cache,
+            backend=backend,
         )
         .raise_on_error()
         .payloads()

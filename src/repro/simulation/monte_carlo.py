@@ -132,6 +132,7 @@ def run_monte_carlo(
     defended: bool = True,
     workers: int = 1,
     cache: Any = None,
+    backend: Optional[str] = None,
 ) -> MonteCarloSummary:
     """Run ``scenario`` once per seed and aggregate the outcomes.
 
@@ -142,7 +143,11 @@ def run_monte_carlo(
     ``cache`` selects the run-store policy (see
     :func:`repro.simulation.batch.execute_batch`) — previously stored
     seeds replay from the store instead of simulating, yielding the
-    same :class:`SeedOutcome` values bit-for-bit.
+    same :class:`SeedOutcome` values bit-for-bit.  ``backend`` selects
+    the engine; a seed sweep is exactly the homogeneous batch the
+    vectorized engine advances in lock-step, so ``"auto"`` and
+    ``"vectorized"`` run the whole sweep in one numpy pass per step
+    with bit-identical outcomes.
     """
     seeds = list(seeds)
     if not seeds:
@@ -157,7 +162,11 @@ def run_monte_carlo(
         for seed in seeds
     ]
     outcomes = run_many(
-        specs, workers=workers, postprocess=_seed_outcome, cache=cache
+        specs,
+        workers=workers,
+        postprocess=_seed_outcome,
+        cache=cache,
+        backend=backend,
     )
     return MonteCarloSummary(
         outcomes=tuple(outcomes),

@@ -11,7 +11,7 @@ through :mod:`repro.simulation.batch` when ``workers > 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.simulation.batch import RunSpec, run_many
 from repro.simulation.engine import CarFollowingSimulation
@@ -54,7 +54,11 @@ def run_single(
 
 
 def run_figure_scenario(
-    scenario: Scenario, *, workers: int = 1, cache: Any = None
+    scenario: Scenario,
+    *,
+    workers: int = 1,
+    cache: Any = None,
+    backend: Optional[str] = None,
 ) -> FigureData:
     """Run the (baseline, attacked, defended) triple of a figure panel.
 
@@ -63,14 +67,20 @@ def run_figure_scenario(
     independent), with results identical to the serial path.  ``cache``
     selects the run-store policy (see
     :func:`repro.simulation.batch.execute_batch`): store hits replay
-    bit-identically instead of simulating.
+    bit-identically instead of simulating.  ``backend`` selects the
+    engine (scalar / vectorized / auto — same knob as
+    :func:`~repro.simulation.batch.execute_batch`); the triple's runs
+    differ in their toggles, so ``"auto"`` keeps them scalar while
+    ``"vectorized"`` runs each as its own group.
     """
     specs = [
         RunSpec(scenario, attack_enabled=False, defended=False, tag="baseline"),
         RunSpec(scenario, attack_enabled=True, defended=False, tag="attacked"),
         RunSpec(scenario, attack_enabled=True, defended=True, tag="defended"),
     ]
-    baseline, attacked, defended = run_many(specs, workers=workers, cache=cache)
+    baseline, attacked, defended = run_many(
+        specs, workers=workers, cache=cache, backend=backend
+    )
     return FigureData(
         scenario=scenario,
         baseline=baseline,

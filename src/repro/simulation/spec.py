@@ -9,6 +9,7 @@ The spec is a plain nested dict.  Polymorphic pieces (leader profile,
 attack) carry a ``"kind"`` discriminator::
 
     {
+      "spec_version": 1,
       "name": "my-study",
       "leader_profile": {"kind": "constant", "acceleration": -0.1082},
       "attack": {"kind": "dos", "start": 182.0, "end": 300.0,
@@ -18,6 +19,18 @@ attack) carry a ``"kind"`` discriminator::
     }
 
 Unspecified fields keep the library defaults (the paper's values).
+
+``spec_version`` declares which revision of this format a spec was
+written against.  :func:`scenario_to_dict` stamps the current
+:data:`SPEC_VERSION`; :func:`scenario_from_dict` accepts specs carrying
+the current version (or none at all — pre-versioning specs are version
+1 by definition) and raises
+:class:`~repro.exceptions.ConfigurationError` for anything else, so a
+spec from a future format fails loudly instead of being silently
+misread.  The version also travels through
+:func:`repro.store.fingerprint.fingerprint_payload` (which serializes
+scenarios via :func:`scenario_to_dict`), salting every run-store
+fingerprint with the spec format revision.
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ from repro.vehicle.leader import (
 from repro.vehicle.params import ACCParameters
 
 __all__ = [
+    "SPEC_VERSION",
     "scenario_to_dict",
     "scenario_from_dict",
     "save_scenario",
@@ -55,6 +69,11 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+#: Current revision of the declarative spec format.  Bump when the
+#: dict schema changes shape (not when scenario defaults change);
+#: readers reject unknown versions up front.
+SPEC_VERSION = 1
 
 
 # ----------------------------------------------------------------------
@@ -188,9 +207,10 @@ _SCALAR_FIELDS = (
 
 def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
     """Serialize a scenario to a JSON-compatible dict."""
-    spec: Dict[str, Any] = {
-        field: getattr(scenario, field) for field in _SCALAR_FIELDS
-    }
+    spec: Dict[str, Any] = {"spec_version": SPEC_VERSION}
+    spec.update(
+        (field, getattr(scenario, field)) for field in _SCALAR_FIELDS
+    )
     spec["leader_profile"] = _profile_to_dict(scenario.leader_profile)
     if scenario.attack is not None:
         spec["attack"] = _attack_to_dict(scenario.attack)
@@ -204,7 +224,18 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
 
 
 def scenario_from_dict(spec: Dict[str, Any]) -> Scenario:
-    """Build a scenario from a spec dict; missing fields keep defaults."""
+    """Build a scenario from a spec dict; missing fields keep defaults.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when the spec
+    declares a ``spec_version`` this library does not read (missing
+    means version 1 — the format before versioning was introduced).
+    """
+    version = spec.get("spec_version", SPEC_VERSION)
+    if version != SPEC_VERSION:
+        raise ConfigurationError(
+            f"unsupported spec_version {version!r}; this library reads "
+            f"version {SPEC_VERSION}"
+        )
     if "leader_profile" not in spec:
         raise ConfigurationError("a scenario spec requires 'leader_profile'")
     kwargs: Dict[str, Any] = {

@@ -44,5 +44,7 @@ def advance_state(state: VehicleState, acceleration: float, dt: float) -> Vehicl
     if acceleration >= 0.0:  # pragma: no cover - defensive; v1<0 needs a<0
         raise AssertionError("negative velocity with non-negative acceleration")
     time_to_stop = v0 / (-acceleration)
-    position = state.position + v0 * time_to_stop + 0.5 * acceleration * time_to_stop**2
+    position = state.position + v0 * time_to_stop + 0.5 * acceleration * (
+        time_to_stop * time_to_stop
+    )
     return VehicleState(position=position, velocity=0.0, acceleration=acceleration)

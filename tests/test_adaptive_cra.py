@@ -7,7 +7,7 @@ from repro import (
     ChallengeSchedule,
     DoSJammingAttack,
     fig2_scenario,
-    run_single,
+    run,
 )
 from repro.core import AdaptiveChallengePolicy
 
@@ -68,7 +68,7 @@ class TestAdaptiveRecovery:
             attack=DoSJammingAttack(AttackWindow(182.0, 230.0)),
             adaptive_challenge_period=adaptive_period,
         )
-        return run_single(scenario, defended=True)
+        return run(scenario, defended=True)
 
     def test_adaptive_recovers_sooner(self):
         def clear_time(result):
@@ -91,7 +91,7 @@ class TestAdaptiveRecovery:
         scenario = fig2_scenario("dos").with_overrides(
             adaptive_challenge_period=2.0
         )
-        result = run_single(scenario, attack_enabled=False, defended=True)
+        result = run(scenario, attack_enabled=False, defended=True)
         assert all(not e.attack_detected for e in result.detection_events)
 
     def test_still_safe(self):

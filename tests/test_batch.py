@@ -67,7 +67,7 @@ class TestExecuteBatch:
         assert result.n_followers == 2
 
     def test_workers_must_be_positive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError, match="workers must be"):
             execute_batch([RunSpec(FAST)], workers=0)
 
     def test_error_captured_per_record(self):
@@ -96,9 +96,13 @@ class TestExecuteBatch:
         monkeypatch.setattr(
             concurrent.futures, "ProcessPoolExecutor", BrokenPool
         )
+        # backend="scalar" pinned: under REPRO_BACKEND=auto these
+        # identical specs would vectorize and never reach the pool.
         specs = [RunSpec(FAST, tag=str(i)) for i in range(2)]
         with pytest.warns(RuntimeWarning, match="re-running the 2-spec batch"):
-            batch = execute_batch(specs, workers=4, postprocess=_min_gap)
+            batch = execute_batch(
+                specs, workers=4, postprocess=_min_gap, backend="scalar"
+            )
         assert not batch.parallel and batch.workers == 1
         assert batch.degraded_reason is not None
         assert "OSError" in batch.degraded_reason
@@ -137,7 +141,7 @@ class TestExecuteBatch:
         )
         specs = [RunSpec(FAST, tag=str(i)) for i in range(2)]
         with pytest.raises(ValueError, match="logic bug"):
-            execute_batch(specs, workers=4)
+            execute_batch(specs, workers=4, backend="scalar")
 
     def test_default_chunksize(self):
         assert _default_chunksize(3, 4) == 1

@@ -8,7 +8,7 @@ from repro import (
     ConstantAccelerationProfile,
     Scenario,
     fig2_scenario,
-    run_single,
+    run,
 )
 from repro.simulation.scenario import DefenseConfig
 from repro.vehicle.upper_controller import ControlMode
@@ -26,7 +26,7 @@ class TestTargetAcquisition:
             follower_initial_speed=25.0,
             horizon=60.0,
         )
-        result = run_single(scenario, attack_enabled=False, defended=False)
+        result = run(scenario, attack_enabled=False, defended=False)
         assert result.array("spacing_mode")[0] == 0.0
         vF = result.array("follower_velocity")
         # Cruising toward v_set until the leader comes into range.
@@ -41,7 +41,7 @@ class TestTargetAcquisition:
             follower_initial_speed=29.0,
             horizon=120.0,
         )
-        result = run_single(scenario, attack_enabled=False, defended=False)
+        result = run(scenario, attack_enabled=False, defended=False)
         gaps = result.array("true_distance")
         assert gaps[0] > 200.0
         # Once inside the envelope, the follower regulates the gap: no
@@ -52,7 +52,7 @@ class TestTargetAcquisition:
 
 class TestCollisionHandling:
     def test_collision_time_recorded_once_and_run_continues(self):
-        result = run_single(fig2_scenario("dos"), defended=False)
+        result = run(fig2_scenario("dos"), defended=False)
         assert result.collided
         # Full-length traces even past the collision.
         assert len(result.times) == 301
@@ -62,7 +62,7 @@ class TestCollisionHandling:
         assert np.all(np.isfinite(measured))
 
     def test_summary_reports_collision(self):
-        result = run_single(fig2_scenario("dos"), defended=False)
+        result = run(fig2_scenario("dos"), defended=False)
         summary = result.summary()
         assert summary.collided
         assert summary.collision_time == result.collision_time
@@ -73,7 +73,7 @@ class TestDefenseConfigVariants:
         scenario = fig2_scenario(
             "dos", defense=DefenseConfig(estimator_kind="per_channel")
         )
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times == [182.0]
 
     def test_ar_basis_defense_runs(self):
@@ -83,23 +83,23 @@ class TestDefenseConfigVariants:
                 estimator_kind="per_channel", basis_kind="ar", basis_order=2
             ),
         )
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times == [182.0]
 
     def test_rollback_disabled_runs(self):
         scenario = fig2_scenario(
             "delay", defense=DefenseConfig(rollback_on_detection=False)
         )
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times == [182.0]
 
     def test_margin_disabled_runs(self):
         scenario = fig2_scenario("dos", defense=DefenseConfig(margin_gain=0.0))
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times == [182.0]
 
     def test_noise_overrides_change_measurements(self):
-        quiet = run_single(
+        quiet = run(
             fig2_scenario("dos", distance_noise_std=0.0, velocity_noise_std=0.0),
             attack_enabled=False,
             defended=False,
@@ -118,7 +118,7 @@ class TestAggressiveScenario:
             leader_profile=ConstantAccelerationProfile(-1.0, start_time=160.0),
             acc_params=ACCParameters(),
         )
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times[0] == 182.0
         # The leader stops at ~189 s; safety margin shrinks but holds.
         assert not result.collided

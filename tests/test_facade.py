@@ -103,7 +103,9 @@ class TestSpecInputs:
             run(42)
 
 
-class TestAliases:
+class TestDeprecatedAliases:
+    """The pre-``run()`` names still work but warn (see facade docstring)."""
+
     def test_top_level_names_are_facade_aliases(self):
         assert repro.run is run
         assert repro.run_single is repro.facade.run_single
@@ -111,17 +113,35 @@ class TestAliases:
         assert repro.run_monte_carlo is repro.facade.run_monte_carlo
         assert repro.run_platoon is repro.facade.run_platoon
 
-    def test_run_single_alias_matches_impl(self):
+    def test_run_single_warns_and_matches_impl(self):
+        with pytest.warns(DeprecationWarning, match=r"run_single\(\) is deprecated"):
+            result = repro.run_single(FAST)
         assert (
-            repro.run_single(FAST).min_gap()
-            == repro.simulation.runner.run_single(FAST).min_gap()
+            result.min_gap() == repro.simulation.runner.run_single(FAST).min_gap()
         )
 
-    def test_run_monte_carlo_alias_default_args(self):
-        summary = repro.run_monte_carlo(FAST, seeds=range(2))
+    def test_run_figure_scenario_warns_and_matches_run(self):
+        with pytest.warns(
+            DeprecationWarning, match=r"run_figure_scenario\(\) is deprecated"
+        ):
+            data = repro.run_figure_scenario(FAST)
+        assert isinstance(data, FigureData)
+        assert data.defended.min_gap() == run(FAST, mode="figure").defended.min_gap()
+
+    def test_run_monte_carlo_warns_with_default_args(self):
+        with pytest.warns(
+            DeprecationWarning, match=r"run_monte_carlo\(\) is deprecated"
+        ):
+            summary = repro.run_monte_carlo(FAST, seeds=range(2))
         assert isinstance(summary, MonteCarloSummary)
         assert summary.n_runs == 2
 
-    def test_run_platoon_alias(self):
-        result = repro.run_platoon(_platoon_scenario(), attack_enabled=False)
+    def test_run_platoon_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"run_platoon\(\) is deprecated"):
+            result = repro.run_platoon(_platoon_scenario(), attack_enabled=False)
         assert isinstance(result, PlatoonResult)
+
+    def test_warning_points_at_caller(self):
+        with pytest.warns(DeprecationWarning) as captured:
+            repro.run_single(FAST)
+        assert captured[0].filename == __file__

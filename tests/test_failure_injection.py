@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import FMCWRadarSensor, fig2_scenario, run_single
+from repro import FMCWRadarSensor, fig2_scenario, run
 from repro.exceptions import ConfigurationError
 
 
@@ -51,11 +51,11 @@ class TestDefenseUnderDropouts:
     def test_no_false_positives_from_dropouts(self, dropout_scenario):
         """A dropout is a zero output — the same value an honest
         challenge produces — so it can never look like an attack."""
-        result = run_single(dropout_scenario, attack_enabled=False, defended=True)
+        result = run(dropout_scenario, attack_enabled=False, defended=True)
         assert all(not e.attack_detected for e in result.detection_events)
 
     def test_dropouts_bridged_by_estimates(self, dropout_scenario):
-        result = run_single(dropout_scenario, attack_enabled=False, defended=True)
+        result = run(dropout_scenario, attack_enabled=False, defended=True)
         # Some non-challenge instants were estimated (the dropouts)...
         schedule = dropout_scenario.schedule()
         estimated = result.array("estimated_flag")
@@ -72,16 +72,16 @@ class TestDefenseUnderDropouts:
         assert np.min(safe[in_track]) > 1.0
 
     def test_detection_still_exact_under_dropouts(self, dropout_scenario):
-        result = run_single(dropout_scenario, defended=True)
+        result = run(dropout_scenario, defended=True)
         assert result.detection_times == [182.0]
 
     def test_defended_run_safe_under_dropouts(self, dropout_scenario):
         for seed in (2017, 7):
-            result = run_single(
+            result = run(
                 dropout_scenario.with_overrides(sensor_seed=seed), defended=True
             )
             assert not result.collided
 
     def test_undefended_tracker_coasts_through_dropouts(self, dropout_scenario):
-        result = run_single(dropout_scenario, attack_enabled=False, defended=False)
+        result = run(dropout_scenario, attack_enabled=False, defended=False)
         assert not result.collided

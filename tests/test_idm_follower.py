@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import fig2_scenario, run_single
+from repro import fig2_scenario, run
 from repro.exceptions import ConfigurationError
 from repro.vehicle import IDMFollowerController, IDMParameters
 from repro.vehicle.upper_controller import ControlMode
@@ -47,25 +47,25 @@ class TestIDMFollowerClosedLoop:
 
     def test_clean_run_safe(self):
         scenario = fig2_scenario("dos", follower_policy="idm")
-        result = run_single(scenario, attack_enabled=False, defended=False)
+        result = run(scenario, attack_enabled=False, defended=False)
         assert not result.collided
 
     def test_attack_still_lethal(self):
         scenario = fig2_scenario("dos", follower_policy="idm")
-        result = run_single(scenario, defended=False)
+        result = run(scenario, defended=False)
         assert result.collided
 
     def test_defense_is_policy_agnostic(self):
         """The CRA+RLS pipeline protects an IDM follower identically."""
         scenario = fig2_scenario("dos", follower_policy="idm")
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times == [182.0]
         assert not result.collided
 
     def test_delay_attack_with_idm(self):
         scenario = fig2_scenario("delay", follower_policy="idm")
-        attacked = run_single(scenario, defended=False)
-        defended = run_single(scenario, defended=True)
+        attacked = run(scenario, defended=False)
+        defended = run(scenario, defended=True)
         assert defended.min_gap() > attacked.min_gap()
         assert not defended.collided
 
@@ -75,7 +75,7 @@ class TestIDMFollowerClosedLoop:
             follower_policy="idm",
             idm_params=IDMParameters(minimum_gap=6.0, time_headway=2.5),
         )
-        result = run_single(scenario, attack_enabled=False, defended=False)
+        result = run(scenario, attack_enabled=False, defended=False)
         assert not result.collided
         # The larger standstill gap shows up at the end of the run.
         assert result.array("true_distance")[-1] > 4.0

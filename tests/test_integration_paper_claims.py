@@ -15,7 +15,7 @@ results the paper reports:
 import numpy as np
 import pytest
 
-from repro import fig2_scenario, fig3_scenario, run_figure_scenario
+from repro import fig2_scenario, fig3_scenario, run
 from repro.analysis import detection_confusion, detection_latency
 
 ALL_PANELS = [
@@ -29,7 +29,7 @@ ALL_PANELS = [
 @pytest.fixture(scope="module")
 def figure_data():
     return {
-        panel: run_figure_scenario(factory(attack))
+        panel: run(factory(attack), mode="figure")
         for panel, factory, attack in ALL_PANELS
     }
 
@@ -139,10 +139,10 @@ class TestRecoveryClaims:
 class TestSeedRobustness:
     @pytest.mark.parametrize("attack", ["dos", "delay"])
     def test_defense_safe_across_seeds(self, attack):
-        from repro import run_single
+        from repro import run
 
         for seed in (1, 7, 23, 99):
             scenario = fig2_scenario(attack, sensor_seed=seed)
-            result = run_single(scenario, defended=True)
+            result = run(scenario, defended=True)
             assert not result.collided, f"seed {seed} collided"
             assert result.detection_times[0] == 182.0

@@ -13,7 +13,7 @@ from repro import (
     DelayInjectionAttack,
     DoSJammingAttack,
     fig2_scenario,
-    run_single,
+    run,
 )
 
 
@@ -30,7 +30,7 @@ class TestFiniteAttackRecovery:
     @pytest.mark.parametrize("kind", ["dos", "delay"])
     def test_alarm_raised_then_cleared(self, kind):
         scenario = finite_attack_scenario(kind)
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         events = result.detection_events
         raised = [e.time for e in events if e.attack_detected]
         # Attack [112, 150]: challenges at 112 and 137 fire; the next
@@ -45,7 +45,7 @@ class TestFiniteAttackRecovery:
     @pytest.mark.parametrize("kind", ["dos", "delay"])
     def test_sensor_retrusted_after_recovery(self, kind):
         scenario = finite_attack_scenario(kind)
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         estimated = result.array("estimated_flag")
         times = result.times
         # During the attack everything is estimated...
@@ -63,14 +63,14 @@ class TestFiniteAttackRecovery:
 
     @pytest.mark.parametrize("kind", ["dos", "delay"])
     def test_finite_attack_defended_run_is_safe(self, kind):
-        result = run_single(finite_attack_scenario(kind), defended=True)
+        result = run(finite_attack_scenario(kind), defended=True)
         assert not result.collided
         assert result.min_gap() > 0.0
 
     def test_defended_tracks_baseline_after_recovery(self):
         scenario = finite_attack_scenario("dos")
-        defended = run_single(scenario, defended=True)
-        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        defended = run(scenario, defended=True)
+        baseline = run(scenario, attack_enabled=False, defended=False)
         gap_defended = defended.array("true_distance")
         gap_baseline = baseline.array("true_distance")
         times = defended.times
@@ -106,6 +106,6 @@ class TestFiniteAttackRecovery:
         scenario = fig2_scenario("dos").with_overrides(
             name="double-attack", attack=Composite(schedule, first)
         )
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times == [112.0, 222.0]
         assert not result.collided

@@ -8,7 +8,7 @@ root-MUSIC chain to confirm both fidelities agree on the claims.
 import numpy as np
 import pytest
 
-from repro import fig2_scenario, run_single
+from repro import fig2_scenario, run
 from repro.simulation.scenario import DefenseConfig
 
 
@@ -19,7 +19,7 @@ def signal_scenario():
 
 class TestSignalFidelityClosedLoop:
     def test_clean_tracking(self, signal_scenario):
-        result = run_single(signal_scenario, attack_enabled=False, defended=False)
+        result = run(signal_scenario, attack_enabled=False, defended=False)
         measured = result.array("measured_distance")
         true = result.array("true_distance")
         times = result.times
@@ -32,29 +32,29 @@ class TestSignalFidelityClosedLoop:
         assert not result.collided
 
     def test_challenge_zeros_through_receiver(self, signal_scenario):
-        result = run_single(signal_scenario, attack_enabled=False, defended=False)
+        result = run(signal_scenario, attack_enabled=False, defended=False)
         measured = result.series("measured_distance")
         for t in (15.0, 50.0, 175.0):
             assert measured.value_at(t) == 0.0
 
     def test_delay_attack_detected_and_survived(self, signal_scenario):
-        result = run_single(signal_scenario, defended=True)
+        result = run(signal_scenario, defended=True)
         assert result.detection_times == [182.0]
         assert not result.collided
 
     def test_dos_attack_detected_and_survived(self):
         scenario = fig2_scenario("dos", fidelity="signal")
-        result = run_single(scenario, defended=True)
+        result = run(scenario, defended=True)
         assert result.detection_times == [182.0]
         assert not result.collided
 
     def test_fidelities_agree_on_clean_geometry(self):
-        eq = run_single(
+        eq = run(
             fig2_scenario("dos", fidelity="equation"),
             attack_enabled=False,
             defended=False,
         )
-        sig = run_single(
+        sig = run(
             fig2_scenario("dos", fidelity="signal"),
             attack_enabled=False,
             defended=False,

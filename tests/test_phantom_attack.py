@@ -8,7 +8,7 @@ from repro import (
     FMCWRadarSensor,
     PhantomTargetAttack,
     fig2_scenario,
-    run_single,
+    run,
 )
 from repro.types import AttackLabel
 
@@ -66,8 +66,8 @@ class TestPhantomClosedLoop:
     def test_undefended_phantom_braking(self, scenario):
         """The availability attack: the follower slams the brakes for a
         ghost 10 m ahead and ends up far behind the baseline."""
-        attacked = run_single(scenario, defended=False)
-        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        attacked = run(scenario, defended=False)
+        baseline = run(scenario, attack_enabled=False, defended=False)
         times = attacked.times
         window = (times >= 182.0) & (times <= 200.0)
         # Hard braking right after onset...
@@ -78,13 +78,13 @@ class TestPhantomClosedLoop:
         )
 
     def test_detected_at_first_challenge(self, scenario):
-        defended = run_single(scenario, defended=True)
+        defended = run(scenario, defended=True)
         assert defended.detection_times == [182.0]
 
     def test_defense_restores_availability(self, scenario):
-        defended = run_single(scenario, defended=True)
-        attacked = run_single(scenario, defended=False)
-        baseline = run_single(scenario, attack_enabled=False, defended=False)
+        defended = run(scenario, defended=True)
+        attacked = run(scenario, defended=False)
+        baseline = run(scenario, attack_enabled=False, defended=False)
         final_defended = defended.array("true_distance")[-1]
         final_attacked = attacked.array("true_distance")[-1]
         final_baseline = baseline.array("true_distance")[-1]

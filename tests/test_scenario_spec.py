@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro import fig2_scenario, fig3_scenario, run_single
+from repro import fig2_scenario, fig3_scenario, run
 from repro.attacks import (
     AttackWindow,
     DelayInjectionAttack,
@@ -15,11 +15,14 @@ from repro.attacks import (
 from repro.cli import main
 from repro.exceptions import ConfigurationError
 from repro.simulation import (
+    SPEC_VERSION,
+    RunSpec,
     load_scenario,
     save_scenario,
     scenario_from_dict,
     scenario_to_dict,
 )
+from repro.store.fingerprint import fingerprint_payload, run_fingerprint
 from repro.vehicle import (
     ConstantAccelerationProfile,
     PiecewiseAccelerationProfile,
@@ -46,8 +49,8 @@ class TestRoundTrip:
     def test_round_trip_preserves_behaviour(self):
         original = fig2_scenario("delay")
         rebuilt = scenario_from_dict(scenario_to_dict(original))
-        a = run_single(original, defended=True)
-        b = run_single(rebuilt, defended=True)
+        a = run(original, defended=True)
+        b = run(rebuilt, defended=True)
         assert a.detection_times == b.detection_times
         assert a.min_gap() == pytest.approx(b.min_gap())
 
@@ -166,6 +169,44 @@ class TestSpecValidation:
                     "attack": {"kind": "emp", "start": 0.0},
                 }
             )
+
+
+class TestSpecVersion:
+    """The declarative format is versioned (spec.SPEC_VERSION)."""
+
+    def test_serializer_stamps_current_version(self):
+        spec = scenario_to_dict(fig2_scenario("dos"))
+        assert spec["spec_version"] == SPEC_VERSION == 1
+
+    def test_current_version_round_trips(self):
+        spec = scenario_to_dict(fig2_scenario("dos"))
+        assert scenario_to_dict(scenario_from_dict(spec)) == spec
+
+    def test_missing_version_means_version_one(self):
+        # Pre-versioning specs carried no marker; they are v1 by fiat.
+        spec = scenario_to_dict(fig2_scenario("dos"))
+        del spec["spec_version"]
+        scenario = scenario_from_dict(spec)
+        assert scenario.name == fig2_scenario("dos").name
+
+    @pytest.mark.parametrize("bad", [0, 2, 99, "1", None])
+    def test_unknown_version_rejected(self, bad):
+        spec = scenario_to_dict(fig2_scenario("dos"))
+        spec["spec_version"] = bad
+        with pytest.raises(ConfigurationError, match="spec_version"):
+            scenario_from_dict(spec)
+
+    def test_version_never_leaks_into_scenario(self):
+        scenario = scenario_from_dict(scenario_to_dict(fig2_scenario("dos")))
+        assert not hasattr(scenario, "spec_version")
+
+    def test_version_salts_run_fingerprint(self):
+        # The store serializes scenarios via scenario_to_dict, so the
+        # format revision is part of every cache key.
+        spec = RunSpec(fig2_scenario("dos", horizon=20.0))
+        payload = fingerprint_payload(spec)
+        assert payload["scenario"]["spec_version"] == SPEC_VERSION
+        assert run_fingerprint(spec) is not None
 
 
 class TestCLIRunCustom:

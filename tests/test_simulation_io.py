@@ -5,13 +5,13 @@ import csv
 import numpy as np
 import pytest
 
-from repro import fig2_scenario, run_single
+from repro import fig2_scenario, run
 from repro.simulation.io import export_csv, export_json, load_json
 
 
 @pytest.fixture(scope="module")
 def result():
-    return run_single(fig2_scenario("dos", horizon=60.0), defended=True)
+    return run(fig2_scenario("dos", horizon=60.0), defended=True)
 
 
 class TestCSVExport:

@@ -98,7 +98,7 @@ class TestFingerprint:
 
 class TestRunStore:
     def test_put_get_bit_identical(self, tmp_path):
-        result = repro.run_single(FAST, defended=True)
+        result = repro.run(FAST, defended=True)
         with RunStore(tmp_path / "s.sqlite") as store:
             store.put("a" * 64, result, sensor_seed=FAST.sensor_seed)
             loaded = store.get("a" * 64)
@@ -114,7 +114,7 @@ class TestRunStore:
 
     def test_miss_returns_none(self, tmp_path):
         with RunStore(tmp_path / "s.sqlite") as store:
-            store.put("a" * 64, repro.run_single(FAST))
+            store.put("a" * 64, repro.run(FAST))
             assert store.get("b" * 64) is None
 
     def test_reads_do_not_create_file(self, tmp_path):
@@ -129,7 +129,7 @@ class TestRunStore:
         assert not path.exists()
 
     def test_contains_len_fingerprints(self, tmp_path):
-        result = repro.run_single(FAST)
+        result = repro.run(FAST)
         with RunStore(tmp_path / "s.sqlite") as store:
             store.put("b" * 64, result)
             store.put("a" * 64, result)
@@ -139,7 +139,7 @@ class TestRunStore:
             assert store.fingerprints() == ["a" * 64, "b" * 64]
 
     def test_stats_and_scenario_counts(self, tmp_path):
-        result = repro.run_single(FAST)
+        result = repro.run(FAST)
         with RunStore(tmp_path / "s.sqlite") as store:
             store.put("a" * 64, result)
             store.put("b" * 64, result)
@@ -154,7 +154,7 @@ class TestRunStore:
             assert rows[0]["runs"] == 2
 
     def test_evict_and_clear(self, tmp_path):
-        result = repro.run_single(FAST)
+        result = repro.run(FAST)
         with RunStore(tmp_path / "s.sqlite") as store:
             for key in ("a" * 64, "b" * 64, "c" * 64):
                 store.put(key, result)
@@ -168,8 +168,8 @@ class TestRunStore:
         """Regression: ``put`` used INSERT OR REPLACE, so a concurrent
         second writer deleted-and-rewrote the row, churning WAL pages and
         resetting ``created_at``.  Rows are immutable now."""
-        result = repro.run_single(FAST, defended=True)
-        other = repro.run_single(FAST, defended=False)
+        result = repro.run(FAST, defended=True)
+        other = repro.run(FAST, defended=False)
         with RunStore(tmp_path / "s.sqlite") as store:
             assert store.put("a" * 64, result) is True
             created = store._connect().execute(
@@ -192,7 +192,7 @@ class TestRunStore:
             assert loaded.traces[name].values == result.traces[name].values
 
     def test_export_inventory(self, tmp_path):
-        result = repro.run_single(FAST)
+        result = repro.run(FAST)
         with RunStore(tmp_path / "s.sqlite") as store:
             store.put(
                 "a" * 64,
@@ -324,9 +324,9 @@ class TestCacheAwareExecution:
 
     def test_figure_triple_cached(self, tmp_path):
         with RunStore(tmp_path / "s.sqlite") as store:
-            off = repro.run_figure_scenario(FAST)
-            repro.run_figure_scenario(FAST, cache=store)
-            warm = repro.run_figure_scenario(FAST, cache=store)
+            off = repro.run(FAST, mode="figure")
+            repro.run(FAST, cache=store, mode="figure")
+            warm = repro.run(FAST, cache=store, mode="figure")
             assert len(store) == 3
         assert warm.defended.detection_events == off.defended.detection_events
         assert (
@@ -344,7 +344,7 @@ class TestCacheCLI:
     def _populated(self, tmp_path):
         store_path = tmp_path / "s.sqlite"
         with RunStore(store_path) as store:
-            store.put("a" * 64, repro.run_single(FAST))
+            store.put("a" * 64, repro.run(FAST))
         return store_path
 
     def test_path(self, tmp_path, monkeypatch):

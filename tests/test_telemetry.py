@@ -215,7 +215,7 @@ class TestPipelineWiring:
 
     def test_engine_stage_spans_and_counters(self):
         with telemetry.session() as tele:
-            repro.run_single(FAST)
+            repro.run(FAST)
         names = {e["name"] for e in tele.events}
         assert {"engine.sense", "engine.estimate", "engine.control"} <= names
         # 20 s horizon at 1 s sample period → 21 control steps.
@@ -241,7 +241,7 @@ class TestPipelineWiring:
         assert tele.counters["store.hit_bytes"] > 0
 
     def test_store_skip_counter_on_duplicate_put(self, tmp_path):
-        result = repro.run_single(FAST)
+        result = repro.run(FAST)
         with RunStore(tmp_path / "s.sqlite") as store:
             with telemetry.session() as tele:
                 store.put("a" * 64, result)
@@ -287,10 +287,12 @@ class TestPipelineWiring:
         monkeypatch.setattr(
             concurrent.futures, "ProcessPoolExecutor", BrokenPool
         )
+        # backend="scalar" pinned: under REPRO_BACKEND=auto these
+        # identical specs would vectorize and never reach the pool.
         specs = [RunSpec(FAST, tag=str(i)) for i in range(2)]
         with telemetry.session() as tele:
             with pytest.warns(RuntimeWarning):
-                execute_batch(specs, workers=2)
+                execute_batch(specs, workers=2, backend="scalar")
         assert tele.counters["batch.degraded"] == 1
 
 

@@ -15,14 +15,14 @@ vehicle is trusted" (§6).  These tests quantify what a *miscalibrated*
 import numpy as np
 import pytest
 
-from repro import fig2_scenario, run_single
+from repro import fig2_scenario, run
 
 
 def defended(bias=0.0, gain=1.0, seed=2017):
     scenario = fig2_scenario(
         "dos", ego_speed_bias=bias, ego_speed_gain=gain, sensor_seed=seed
     )
-    return run_single(scenario, defended=True)
+    return run(scenario, defended=True)
 
 
 class TestBiasInvariance:
