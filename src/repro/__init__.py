@@ -15,7 +15,12 @@ The library implements, from scratch:
 * metrics and reporting used by the benchmark harness
   (``repro.analysis``), and a content-addressed persistent run store
   (``repro.store``) that memoizes deterministic runs behind the
-  ``cache=`` knob of :func:`repro.run`.
+  ``cache=`` knob of :func:`repro.run`;
+* a long-running asyncio HTTP/JSON service (``repro.service``,
+  ``python -m repro serve``) that fronts the store and the batch
+  engine — cache hits stream back instantly, misses execute on a
+  bounded process pool, and concurrent identical requests coalesce
+  into a single execution.
 
 Quickstart
 ----------
@@ -137,6 +142,10 @@ from repro.store import (
     default_store_path,
     run_fingerprint,
 )
+
+# Async simulation service (HTTP/JSON frontend over the run store
+# with single-flight request coalescing; see repro.service).
+from repro.service import ServiceApp, serve
 from repro.analysis import (
     ascii_plot,
     detection_confusion,
@@ -255,6 +264,9 @@ __all__ = [
     "CacheBinding",
     "run_fingerprint",
     "default_store_path",
+    # service
+    "ServiceApp",
+    "serve",
     # analysis
     "detection_latency",
     "detection_confusion",

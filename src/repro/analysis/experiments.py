@@ -288,6 +288,18 @@ REGISTRY: Tuple[Experiment, ...] = (
         modules=("simulation.platoon", "vehicle", "core"),
         kind="extension",
     ),
+    Experiment(
+        identifier="service-throughput",
+        title="Simulation service: sustained req/s with single-flight",
+        paper_claim="",
+        workload="300+ HTTP requests at a 90% hit ratio over 15 unique "
+        "specs against an in-process ServiceApp; asserts coalescing "
+        "holds executed runs at the unique-spec count and a hit-path "
+        "throughput floor; writes req/s to BENCH_service.json",
+        bench="bench_service_throughput.py",
+        modules=("service", "store", "telemetry"),
+        kind="extension",
+    ),
 )
 
 _BY_ID: Dict[str, Experiment] = {exp.identifier: exp for exp in REGISTRY}

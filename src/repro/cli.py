@@ -21,7 +21,17 @@ Commands
     Manage the persistent run store (:mod:`repro.store`):
     ``cache stats``, ``cache clear``, ``cache export PATH`` and
     ``cache path``, each accepting ``--store PATH`` to address a
-    non-default store file.
+    non-default store file.  ``cache stats --json`` emits the
+    machine-readable form (the same serialization the service's
+    ``GET /v1/store/stats`` endpoint returns).
+``serve``
+    Run the async simulation service (:mod:`repro.service`): an
+    HTTP/JSON frontend over the run store with single-flight
+    dedup-coalescing of identical requests.  ``--host`` / ``--port``
+    pick the binding (``--port 0`` for an ephemeral port; the bound
+    base URL is the first stdout line), ``--workers`` bounds the
+    process pool, ``--store`` addresses a non-default store file and
+    ``--backend`` picks the default engine for executed runs.
 ``trace``
     Inspect JSONL telemetry traces (:mod:`repro.telemetry`):
     ``trace summary FILE`` prints the per-stage timing table,
@@ -197,6 +207,49 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "export":
             sub.add_argument("dest", help="output JSON path")
+        if name == "stats":
+            sub.add_argument(
+                "--json",
+                dest="as_json",
+                action="store_true",
+                default=False,
+                help="emit machine-readable JSON (same serialization as "
+                "the service's GET /v1/store/stats)",
+            )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the async simulation service (HTTP/JSON)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="TCP port (0 binds an ephemeral port; the bound base URL "
+        "is printed as the first stdout line)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="worker processes executing cache-miss runs (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="run-store database file (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/runstore.sqlite)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="default engine for executed runs (default: $REPRO_BACKEND, "
+        "else scalar)",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect JSONL telemetry traces"
@@ -329,6 +382,11 @@ def _run_cache(args: argparse.Namespace, out) -> int:
             return 0
         if args.cache_command == "stats":
             stats = store.stats()
+            if args.as_json:
+                import json
+
+                print(json.dumps(stats.as_dict(), indent=2), file=out)
+                return 0
             print(
                 render_table(
                     stats.as_rows(), title=f"run store at {stats.path}"
@@ -489,6 +547,19 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
 
     if args.command == "cache":
         return _run_cache(args, out)
+
+    if args.command == "serve":
+        from repro.service import serve
+
+        return serve(
+            args.host,
+            args.port,
+            store_path=args.store,
+            workers=args.workers,
+            backend=args.backend,
+            out=out,
+            err=err,
+        )
 
     if args.command == "trace":
         return _run_trace(args, out, err)

@@ -145,6 +145,21 @@ class StoreStats:
     db_bytes: int
     by_scenario: Tuple[Tuple[str, int], ...]
 
+    def as_dict(self) -> dict:
+        """JSON-compatible form of the snapshot.
+
+        The single serialization shared by ``repro cache stats --json``
+        and the service's ``GET /v1/store/stats`` endpoint — one code
+        path, so the two surfaces can never drift apart.
+        """
+        return {
+            "path": self.path,
+            "entries": self.entries,
+            "payload_bytes": self.payload_bytes,
+            "db_bytes": self.db_bytes,
+            "by_scenario": {name: count for name, count in self.by_scenario},
+        }
+
     def as_rows(self) -> List[dict]:
         """Rows for :func:`repro.analysis.tables.render_table`."""
         rows = [
