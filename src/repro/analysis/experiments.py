@@ -289,6 +289,19 @@ REGISTRY: Tuple[Experiment, ...] = (
         kind="extension",
     ),
     Experiment(
+        identifier="sweep-scaling",
+        title="Sharded store + adaptive sweep: scaling and savings",
+        paper_claim="",
+        workload="10,000-run heterogeneous sweep (20 cells x 500 seeds) "
+        "through an 8-shard run store at 1 vs 4 workers; asserts "
+        "bit-identical payloads/replay (and >=3x speedup on >=4 cores), "
+        "plus >=20% fewer runs from the adaptive scheduler at the same "
+        "confidence interval; writes timings to BENCH_sweep.json",
+        bench="bench_sweep_scaling.py",
+        modules=("simulation.sweep", "store.sharded", "simulation.batch"),
+        kind="extension",
+    ),
+    Experiment(
         identifier="service-throughput",
         title="Simulation service: sustained req/s with single-flight",
         paper_claim="",

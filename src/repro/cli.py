@@ -21,17 +21,29 @@ Commands
     Manage the persistent run store (:mod:`repro.store`):
     ``cache stats``, ``cache clear``, ``cache export PATH`` and
     ``cache path``, each accepting ``--store PATH`` to address a
-    non-default store file.  ``cache stats --json`` emits the
-    machine-readable form (the same serialization the service's
-    ``GET /v1/store/stats`` endpoint returns).
+    non-default store — a single ``.sqlite`` file or a sharded store
+    directory (auto-detected via its ``shards.json`` manifest).
+    ``cache stats --json`` emits the machine-readable form (the same
+    serialization the service's ``GET /v1/store/stats`` endpoint
+    returns), including the per-shard breakdown for sharded stores.
+    ``cache merge SOURCE --store DEST`` copies every run of one store
+    into another (any combination of single-file and sharded
+    geometries; replays stay bit-identical).
 ``serve``
     Run the async simulation service (:mod:`repro.service`): an
     HTTP/JSON frontend over the run store with single-flight
     dedup-coalescing of identical requests.  ``--host`` / ``--port``
     pick the binding (``--port 0`` for an ephemeral port; the bound
     base URL is the first stdout line), ``--workers`` bounds the
-    process pool, ``--store`` addresses a non-default store file and
+    process pool, ``--store`` addresses a non-default store file
+    (``--store-shards N`` serves a sharded store instead) and
     ``--backend`` picks the default engine for executed runs.
+``sweep``
+    Adaptive Monte-Carlo sweeps (:mod:`repro.simulation.sweep`):
+    ``sweep run --cells fig2a,fig2b`` estimates a metric over the
+    named figure scenarios, early-stopping converged cells and
+    allocating seeds where the metric variance is highest; ``--json``
+    emits the machine-readable result.
 ``trace``
     Inspect JSONL telemetry traces (:mod:`repro.telemetry`):
     ``trace summary FILE`` prints the per-stage timing table,
@@ -42,7 +54,9 @@ their independent runs out over a process pool (see
 :mod:`repro.simulation.batch`); output is identical to serial.  They
 also accept ``--cache`` / ``--no-cache`` (default: no cache) to serve
 previously computed runs from the store and persist new ones —
-cached output is byte-identical to uncached — and ``--backend
+cached output is byte-identical to uncached — or ``--store-shards N``
+to cache through an N-shard store whose shards the pool workers write
+concurrently — and ``--backend
 {auto,scalar,vectorized}`` to pick the simulation engine (default:
 the ``REPRO_BACKEND`` environment variable, else scalar; output is
 bit-identical across backends) — plus ``--profile`` (print the
@@ -112,6 +126,17 @@ def _add_worker_and_cache_args(parser: argparse.ArgumentParser) -> None:
         help="bypass the run store (default)",
     )
     parser.add_argument(
+        "--store-shards",
+        dest="store_shards",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="cache runs (readwrite) through an N-shard run store — "
+        "worker processes write their own shards concurrently "
+        "(default location: the runstore-shards directory next to the "
+        "single-file store; overrides --cache/--no-cache)",
+    )
+    parser.add_argument(
         "--backend",
         choices=BACKENDS,
         default=None,
@@ -135,7 +160,28 @@ def _add_worker_and_cache_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cache_mode(args: argparse.Namespace) -> str:
+def _cache_mode(args: argparse.Namespace):
+    """Resolve the shared cache knobs to a ``cache=`` argument.
+
+    ``--store-shards N`` binds a readwrite N-shard store (at
+    ``--store`` if the command has one, else the default sharded
+    location); otherwise ``--cache`` maps to ``"readwrite"`` and the
+    default is ``"off"``.
+    """
+    shards = getattr(args, "store_shards", None)
+    if shards is not None:
+        from repro.store import (
+            CacheBinding,
+            ShardedRunStore,
+            default_sharded_store_path,
+        )
+
+        path = getattr(args, "store", None) or default_sharded_store_path()
+        return CacheBinding(
+            store=ShardedRunStore(path, shards=shards),
+            mode="readwrite",
+            owns_store=True,
+        )
     return "readwrite" if getattr(args, "cache", False) else "off"
 
 
@@ -216,6 +262,120 @@ def build_parser() -> argparse.ArgumentParser:
                 help="emit machine-readable JSON (same serialization as "
                 "the service's GET /v1/store/stats)",
             )
+    merge_parser = cache_sub.add_parser(
+        "merge",
+        help="copy every run of SOURCE into the --store destination "
+        "(single-file and sharded stores mix freely)",
+    )
+    merge_parser.add_argument(
+        "source", help="source store: a .sqlite file or a shard directory"
+    )
+    merge_parser.add_argument(
+        "--store",
+        metavar="PATH",
+        required=True,
+        help="destination store (created if missing)",
+    )
+    merge_parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="create the destination as an N-shard store (default: "
+        "single-file, or the existing geometry)",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="adaptive variance-aware Monte-Carlo sweeps"
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run",
+        help="estimate a metric over figure-scenario cells, "
+        "early-stopping converged cells",
+    )
+    sweep_run.add_argument(
+        "--cells",
+        default="fig2a,fig2b",
+        help="comma-separated figure scenario ids "
+        f"({', '.join(sorted(_FIGURE_FACTORIES))}; default: fig2a,fig2b)",
+    )
+    sweep_run.add_argument(
+        "--metric",
+        default="detection_rate",
+        help="per-run metric to estimate (detection_rate, min_gap, "
+        "collision_rate; default: detection_rate)",
+    )
+    sweep_run.add_argument(
+        "--target-ci",
+        dest="target_ci",
+        type=float,
+        default=0.1,
+        help="confidence-interval halfwidth at which a cell stops "
+        "(default: 0.1)",
+    )
+    sweep_run.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level of the interval (default: 0.95)",
+    )
+    sweep_run.add_argument(
+        "--min-runs",
+        dest="min_runs",
+        type=_positive_int,
+        default=8,
+        help="seeds every cell runs before convergence checks (default: 8)",
+    )
+    sweep_run.add_argument(
+        "--max-runs",
+        dest="max_runs",
+        type=_positive_int,
+        default=64,
+        help="per-cell budget cap / fixed-grid size (default: 64)",
+    )
+    sweep_run.add_argument(
+        "--round-size",
+        dest="round_size",
+        type=_positive_int,
+        default=8,
+        help="runs allocated per adaptive round (default: 8)",
+    )
+    sweep_run.add_argument(
+        "--schedule",
+        choices=("adaptive", "fixed"),
+        default="adaptive",
+        help="adaptive (early stop + variance-weighted allocation) or "
+        "fixed (every cell runs max-runs)",
+    )
+    sweep_run.add_argument(
+        "--base-seed",
+        dest="base_seed",
+        type=int,
+        default=2017,
+        help="root of the deterministic per-cell seed tree (default: 2017)",
+    )
+    sweep_run.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="override the scenario horizon in seconds (shorter = faster)",
+    )
+    sweep_run.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="shard directory for --store-shards (default: the "
+        "runstore-shards directory next to the single-file store)",
+    )
+    sweep_run.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        default=False,
+        help="emit the machine-readable sweep result",
+    )
+    _add_worker_and_cache_args(sweep_run)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the async simulation service (HTTP/JSON)"
@@ -240,8 +400,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         metavar="PATH",
         default=None,
-        help="run-store database file (default: $REPRO_CACHE_DIR or "
+        help="run-store database file, or shard directory with "
+        "--store-shards (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/runstore.sqlite)",
+    )
+    serve_parser.add_argument(
+        "--store-shards",
+        dest="store_shards",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="serve against an N-shard run store instead of a single "
+        "database file",
     )
     serve_parser.add_argument(
         "--backend",
@@ -371,11 +541,49 @@ def _run_report(
     return 0
 
 
-def _run_cache(args: argparse.Namespace, out) -> int:
-    """The ``repro cache`` command group (run-store management)."""
-    from repro.store import RunStore
+def _open_store(path, shards: Optional[int] = None):
+    """Open a store path as the right geometry.
 
-    store = RunStore(args.store)
+    A directory (or a path carrying a ``shards.json`` manifest) opens
+    as a :class:`~repro.store.ShardedRunStore`; anything else — or
+    ``None``, the default single-file location — opens as a plain
+    :class:`~repro.store.RunStore`.  ``shards`` forces a sharded store
+    (creating the geometry when the path does not exist yet).
+    """
+    from pathlib import Path
+
+    from repro.store import RunStore, ShardedRunStore
+    from repro.store.sharded import MANIFEST_NAME
+
+    if shards is not None:
+        return ShardedRunStore(path, shards=shards)
+    if path is not None:
+        candidate = Path(path)
+        if candidate.is_dir() or (candidate / MANIFEST_NAME).exists():
+            return ShardedRunStore(candidate)
+    return RunStore(path)
+
+
+def _run_cache(args: argparse.Namespace, out, err) -> int:
+    """The ``repro cache`` command group (run-store management)."""
+    if args.cache_command == "merge":
+        from repro.store import merge_stores
+
+        source = _open_store(args.source)
+        dest = _open_store(args.store, shards=args.shards)
+        try:
+            written = merge_stores(source, dest)
+            print(
+                f"merged {written} runs from {source.path} into {dest.path} "
+                f"({len(dest)} total)",
+                file=out,
+            )
+            return 0
+        finally:
+            source.close()
+            dest.close()
+
+    store = _open_store(args.store)
     try:
         if args.cache_command == "path":
             print(store.path, file=out)
@@ -407,6 +615,69 @@ def _run_cache(args: argparse.Namespace, out) -> int:
         )  # pragma: no cover
     finally:
         store.close()
+
+
+def _run_sweep(args: argparse.Namespace, out, err) -> int:
+    """The ``repro sweep`` command group (adaptive Monte-Carlo sweeps)."""
+    from repro.simulation.sweep import SweepCell, run_sweep
+
+    keys = [key.strip() for key in args.cells.split(",") if key.strip()]
+    unknown = [key for key in keys if key not in _FIGURE_FACTORIES]
+    if unknown:
+        print(
+            f"unknown sweep cells: {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(_FIGURE_FACTORIES))})",
+            file=err,
+        )
+        return 2
+    if not keys:
+        print("no sweep cells given (--cells is empty)", file=err)
+        return 2
+    cells = []
+    for key in keys:
+        scenario = _FIGURE_FACTORIES[key]()
+        if args.horizon is not None:
+            scenario = scenario.with_overrides(horizon=args.horizon)
+        cells.append(SweepCell(key=key, scenario=scenario))
+    from repro.exceptions import ConfigurationError
+
+    try:
+        result = run_sweep(
+            cells,
+            metric=args.metric,
+            base_seed=args.base_seed,
+            target_ci=args.target_ci,
+            confidence=args.confidence,
+            min_runs=args.min_runs,
+            max_runs=args.max_runs,
+            round_size=args.round_size,
+            schedule=args.schedule,
+            workers=args.workers,
+            cache=_cache_mode(args),
+            backend=args.backend,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=err)
+        return 2
+    if args.as_json:
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2), file=out)
+        return 0
+    print(
+        render_table(
+            result.as_rows(),
+            title=f"{result.metric} sweep ({result.schedule} schedule)",
+        ),
+        file=out,
+    )
+    print(
+        f"executed {result.executed_runs} of {result.fixed_grid_runs} "
+        f"fixed-grid runs in {result.rounds} round(s) "
+        f"(saved {result.savings_fraction:.0%})",
+        file=out,
+    )
+    return 0
 
 
 def _run_trace(args: argparse.Namespace, out, err) -> int:
@@ -546,7 +817,10 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
         return _run_report(out, args.workers, _cache_mode(args), args.backend)
 
     if args.command == "cache":
-        return _run_cache(args, out)
+        return _run_cache(args, out, err)
+
+    if args.command == "sweep":
+        return _run_sweep(args, out, err)
 
     if args.command == "serve":
         from repro.service import serve
@@ -555,6 +829,7 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
             args.host,
             args.port,
             store_path=args.store,
+            store_shards=args.store_shards,
             workers=args.workers,
             backend=args.backend,
             out=out,

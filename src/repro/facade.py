@@ -72,12 +72,14 @@ from repro.simulation import batch as _batch
 from repro.simulation import monte_carlo as _monte_carlo
 from repro.simulation import platoon as _platoon
 from repro.simulation import runner as _runner
+from repro.simulation import sweep as _sweep
 from repro.simulation.knobs import resolve_backend, validate_workers
 from repro.simulation.monte_carlo import MonteCarloSummary
 from repro.simulation.platoon import PlatoonResult, PlatoonScenario
 from repro.simulation.results import SimulationResult
 from repro.simulation.runner import FigureData
 from repro.simulation.scenario import Scenario
+from repro.simulation.sweep import SweepCell, SweepResult
 
 __all__ = [
     "run",
@@ -87,7 +89,7 @@ __all__ = [
     "run_platoon",
 ]
 
-_MODES = ("single", "figure", "monte_carlo", "platoon")
+_MODES = ("single", "figure", "monte_carlo", "platoon", "sweep")
 
 
 def _resolve_scenario(
@@ -125,7 +127,10 @@ def run(
     defended: bool = True,
     cache: Any = "off",
     backend: Optional[str] = None,
-) -> Union[SimulationResult, FigureData, MonteCarloSummary, PlatoonResult]:
+    sweep: Optional[dict] = None,
+) -> Union[
+    SimulationResult, FigureData, MonteCarloSummary, PlatoonResult, SweepResult
+]:
     """Run an experiment described by a scenario or a declarative spec.
 
     Parameters
@@ -142,6 +147,9 @@ def run(
           requires ``seeds``.
         * ``"platoon"`` — the N-follower chain → :class:`PlatoonResult`;
           selected automatically for :class:`PlatoonScenario` inputs.
+        * ``"sweep"`` — an adaptive variance-aware Monte-Carlo sweep →
+          :class:`~repro.simulation.sweep.SweepResult`; configured via
+          ``sweep``.
     workers:
         Process count for modes with independent runs (``"figure"``,
         ``"monte_carlo"``); results are identical to ``workers=1``.
@@ -170,6 +178,17 @@ def run(
         :class:`~repro.exceptions.ConfigurationError` for runs the
         vectorized engine cannot take (platoons, IDM followers, ...);
         ``"auto"`` runs those on the scalar engine instead.
+    sweep:
+        Options for ``mode="sweep"``, forwarded to
+        :func:`repro.simulation.sweep.run_sweep` (``metric``,
+        ``target_ci``, ``min_runs``, ``max_runs``, ``round_size``,
+        ``schedule``, ``base_seed``, ``confidence``).  ``cells`` may
+        name an explicit grid of
+        :class:`~repro.simulation.sweep.SweepCell`; without it the
+        sweep runs a single cell built from the scenario and the
+        ``attack_enabled`` / ``defended`` toggles.  ``workers`` /
+        ``cache`` / ``backend`` come from the facade arguments, not
+        the dict.
     """
     scenario = _resolve_scenario(scenario_or_spec)
     workers = validate_workers(workers)
@@ -191,6 +210,11 @@ def run(
             "backend='vectorized' cannot run platoon scenarios (the "
             "N-follower chain couples its runs); use backend='scalar' "
             "or 'auto'"
+        )
+    if sweep is not None and mode != "sweep":
+        raise ConfigurationError(
+            f"the sweep= argument only applies to mode='sweep' (got "
+            f"mode={mode!r})"
         )
 
     # PlatoonScenario has no name field; fall back to the type name.
@@ -237,6 +261,31 @@ def run(
                 workers=workers,
                 cache=cache if _cache_active(cache) else None,
                 backend=backend,
+            )
+        if mode == "sweep":
+            options = dict(sweep or {})
+            for reserved in ("workers", "cache", "backend"):
+                if reserved in options:
+                    raise ConfigurationError(
+                        f"pass {reserved}= as a run() argument, not inside "
+                        f"the sweep dict"
+                    )
+            cells = options.pop("cells", None)
+            if cells is None:
+                cells = [
+                    SweepCell(
+                        key=label,
+                        scenario=scenario,
+                        attack_enabled=attack_enabled,
+                        defended=defended,
+                    )
+                ]
+            return _sweep.run_sweep(
+                cells,
+                workers=workers,
+                cache=cache if _cache_active(cache) else None,
+                backend=backend,
+                **options,
             )
         return _platoon.run_platoon(scenario, attack_enabled=attack_enabled)
 

@@ -267,6 +267,7 @@ async def serve_async(
     port: int = 8077,
     *,
     store_path: Optional[str] = None,
+    store_shards: Optional[int] = None,
     workers: int = 2,
     backend: Optional[str] = None,
     executor: str = "process",
@@ -277,11 +278,26 @@ async def serve_async(
 
     Prints the base URL as the first line on ``out`` (machine-readable
     — scripts parse it to find an ephemeral ``--port 0`` binding) and
-    human diagnostics on ``err``.
+    human diagnostics on ``err``.  With ``store_shards`` the service
+    binds a :class:`~repro.store.sharded.ShardedRunStore` (at
+    ``store_path`` if given, else the default shard directory) instead
+    of a single database file; ``GET /v1/store/stats`` then includes
+    the per-shard breakdown.
     """
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
-    store = RunStore(store_path)
+    if store_shards is not None:
+        from repro.store.sharded import (
+            ShardedRunStore,
+            default_sharded_store_path,
+        )
+
+        store = ShardedRunStore(
+            store_path if store_path is not None else default_sharded_store_path(),
+            shards=store_shards,
+        )
+    else:
+        store = RunStore(store_path)
     app = ServiceApp(store, workers=workers, backend=backend, executor=executor)
     server = await app.start(host, port)
     bound = server.sockets[0].getsockname()
@@ -318,6 +334,7 @@ def serve(
     port: int = 8077,
     *,
     store_path: Optional[str] = None,
+    store_shards: Optional[int] = None,
     workers: int = 2,
     backend: Optional[str] = None,
     executor: str = "process",
@@ -331,6 +348,7 @@ def serve(
                 host,
                 port,
                 store_path=store_path,
+                store_shards=store_shards,
                 workers=workers,
                 backend=backend,
                 executor=executor,

@@ -15,6 +15,9 @@
   scalar engine, one numpy pass per step for a homogeneous group).
 * :mod:`repro.simulation.knobs` — shared validation of the
   ``workers=`` / ``cache=`` / ``backend=`` execution knobs.
+* :mod:`repro.simulation.sweep` — adaptive variance-aware Monte-Carlo
+  sweeps over scenario grids (early-stops converged cells, allocates
+  seeds where the metric variance is highest).
 """
 
 from repro.simulation.scenario import (
@@ -66,6 +69,14 @@ from repro.simulation.monte_carlo import (
     SeedOutcome,
     run_monte_carlo,
 )
+from repro.simulation.sweep import (
+    SWEEP_METRICS,
+    SWEEP_SCHEDULES,
+    CellResult,
+    SweepCell,
+    SweepResult,
+    run_sweep,
+)
 
 __all__ = [
     "Scenario",
@@ -102,6 +113,12 @@ __all__ = [
     "run_monte_carlo",
     "MonteCarloSummary",
     "SeedOutcome",
+    "SweepCell",
+    "CellResult",
+    "SweepResult",
+    "run_sweep",
+    "SWEEP_METRICS",
+    "SWEEP_SCHEDULES",
     "SPEC_VERSION",
     "scenario_to_dict",
     "scenario_from_dict",

@@ -629,6 +629,70 @@ def _apply_postprocess(
         return None, f"{type(exc).__name__}: {exc}"
 
 
+#: Per-worker-process cache of opened sharded stores, keyed by
+#: (directory, shard count).  A pool worker re-used across chunks keeps
+#: its shard connections open instead of reconnecting per run.
+_WORKER_STORES: dict = {}
+
+
+def _worker_store(path: str, shards: int) -> Any:
+    key = (path, shards)
+    store = _WORKER_STORES.get(key)
+    if store is None:
+        from repro.store.sharded import ShardedRunStore
+
+        store = ShardedRunStore(path, shards=shards)
+        _WORKER_STORES[key] = store
+    return store
+
+
+@dataclass(frozen=True)
+class _StoreWritingPostprocess:
+    """Worker-side store writer wrapped around the user's reducer.
+
+    With a single-file store, cache-aware batches keep every write in
+    the parent (one WAL file serializes its writers anyway) — which
+    also forces raw :class:`SimulationResult` payloads across the
+    process boundary.  A sharded store flips both costs: this wrapper
+    runs inside the pool worker, writes the freshly computed result
+    into the worker's own shard connection (fingerprint routing means
+    distinct shards never contend), and only then applies the user's
+    reducer — so the parent receives the reduced payload and performs
+    no store writes at all.
+
+    Picklable by construction (the store travels as its directory path
+    + shard count and is reopened lazily per worker process via
+    :data:`_WORKER_STORES`).  Under serial degradation the wrapper
+    simply runs in the parent process and stays correct.  A store
+    write failure fails the run (captured per-record like any other
+    run error).
+    """
+
+    path: str
+    shards: int
+    postprocess: Optional[Postprocess] = None
+
+    def __call__(self, spec: RunSpec, result: Any) -> Any:
+        if isinstance(result, SimulationResult):
+            from repro.simulation.spec import scenario_to_dict
+            from repro.store.fingerprint import run_fingerprint
+
+            fingerprint = run_fingerprint(spec)
+            if fingerprint is not None:
+                _worker_store(self.path, self.shards).put(
+                    fingerprint,
+                    result,
+                    spec_dict=scenario_to_dict(spec.scenario),
+                    attack_enabled=spec.attack_enabled,
+                    defended=spec.defended,
+                    sensor_seed=spec.scenario.sensor_seed,
+                    horizon=spec.scenario.horizon,
+                )
+        if self.postprocess is None:
+            return result
+        return self.postprocess(spec, result)
+
+
 def _execute_batch_cached(
     specs: Sequence[RunSpec],
     binding: Any,
@@ -640,11 +704,16 @@ def _execute_batch_cached(
 ) -> BatchResult:
     """Serve fingerprint hits from the run store; compute the misses.
 
-    The store is only ever touched from the calling process — workers
-    never hold a SQLite connection.  In ``readwrite`` mode the workers
-    return raw :class:`~repro.simulation.results.SimulationResult`
-    payloads (any ``postprocess`` is applied parent-side after the
-    store write), so a sweep's reducer sees the same values whether its
+    With a single-file store the store is only ever touched from the
+    calling process — workers never hold a SQLite connection, and in
+    ``readwrite`` mode they return raw
+    :class:`~repro.simulation.results.SimulationResult` payloads (any
+    ``postprocess`` is applied parent-side after the store write).  A
+    store advertising ``concurrent_writers`` (the sharded store)
+    instead has each pool worker write its own shards directly via
+    :class:`_StoreWritingPostprocess` — the reducer then runs
+    worker-side and raw payloads never cross the process boundary.
+    Either way a sweep's reducer sees the same values whether its
     input was computed or replayed.
     """
     from repro.store.fingerprint import run_fingerprint
@@ -677,9 +746,25 @@ def _execute_batch_cached(
     inner_workers, parallel = 1, False
     degraded_reason: Optional[str] = None
     if misses:
-        # Writers need the raw result back to store it; readers can let
-        # the worker-side reducer shrink the payload as usual.
-        worker_postprocess = None if binding.writes else postprocess
+        # Stores that support concurrent multi-process writers (the
+        # sharded store) let each worker write its own shards and ship
+        # only the reduced payload back; single-file stores keep every
+        # write in the parent, which also needs the raw result back.
+        worker_writes = (
+            binding.writes
+            and workers > 1
+            and backend == "scalar"
+            and getattr(binding.store, "concurrent_writers", False)
+        )
+        if worker_writes:
+            binding.store.prepare()
+            worker_postprocess: Optional[Postprocess] = _StoreWritingPostprocess(
+                path=str(binding.store.path),
+                shards=binding.store.shards,
+                postprocess=postprocess,
+            )
+        else:
+            worker_postprocess = None if binding.writes else postprocess
         inner = _execute_batch_plain(
             [spec for _, spec, _ in misses],
             workers=workers,
@@ -691,7 +776,13 @@ def _execute_batch_cached(
         degraded_reason = inner.degraded_reason
         for (index, spec, fingerprint), record in zip(misses, inner.records):
             payload, error = record.payload, record.error
-            if binding.writes and record.ok:
+            if worker_writes:
+                # The worker already stored the result and applied the
+                # user's reducer; count the write parent-side (worker
+                # processes have no telemetry session).
+                if record.ok and fingerprint is not None:
+                    _telemetry.incr("store.worker_writes")
+            elif binding.writes and record.ok:
                 if fingerprint is not None and isinstance(
                     payload, SimulationResult
                 ):

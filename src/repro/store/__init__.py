@@ -9,6 +9,9 @@ results memoizable across processes and sessions:
 * :mod:`repro.store.runstore` — the SQLite (WAL) store holding run
   metadata, headline summaries, and compressed trace payloads, with
   ``get`` / ``put`` / ``stats`` / ``evict`` / ``export`` APIs;
+* :mod:`repro.store.sharded` — the same store partitioned across N
+  SQLite shards by fingerprint prefix, safe for concurrent
+  multi-process writers, with ``merge`` between geometries;
 * :mod:`repro.store.cache` — policy resolution for the ``cache=``
   argument threaded through :func:`repro.run`,
   :func:`~repro.simulation.batch.execute_batch`, ``run_monte_carlo``
@@ -33,7 +36,20 @@ from repro.store.fingerprint import (
     fingerprint_payload,
     run_fingerprint,
 )
-from repro.store.runstore import RunStore, StoreStats, default_store_path
+from repro.store.runstore import (
+    RunStore,
+    ShardStats,
+    StoreContentionError,
+    StoreStats,
+    default_store_path,
+)
+from repro.store.sharded import (
+    DEFAULT_SHARDS,
+    ShardedRunStore,
+    default_sharded_store_path,
+    merge_stores,
+    shard_index,
+)
 
 __all__ = [
     "CACHE_MODES",
@@ -44,6 +60,13 @@ __all__ = [
     "fingerprint_payload",
     "run_fingerprint",
     "RunStore",
+    "ShardStats",
+    "StoreContentionError",
     "StoreStats",
     "default_store_path",
+    "DEFAULT_SHARDS",
+    "ShardedRunStore",
+    "default_sharded_store_path",
+    "merge_stores",
+    "shard_index",
 ]

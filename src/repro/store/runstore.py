@@ -7,9 +7,14 @@ header + packed ``float64`` arrays).  The stdlib
 ``sqlite3`` is the whole persistence stack — no external services, one
 file on disk, safe for concurrent access:
 
-* the database runs in WAL mode with a generous busy timeout, so
-  readers never block the (single) writer and multiple processes can
-  share one store file;
+* the database runs in WAL mode with an explicit ``busy_timeout``
+  (:data:`BUSY_TIMEOUT_MS`), so readers never block the (single)
+  writer and multiple processes can share one store file; writes that
+  still lose the lock race retry a bounded number of times
+  (:data:`WRITE_RETRIES`) with exponential backoff before surfacing a
+  :class:`StoreContentionError` that names the store and the attempt
+  count — callers never see a raw ``sqlite3.OperationalError:
+  database is locked``;
 * connections are opened lazily and re-opened after a ``fork`` (the
   owning pid is tracked), so a store object that leaks into a
   ``ProcessPoolExecutor`` worker does not share a connection with the
@@ -34,18 +39,76 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro import telemetry as _telemetry
+from repro.exceptions import ReproError
 from repro.simulation.io import result_to_dict
 from repro.simulation.results import SimulationResult
 from repro.types import DetectionEvent, TimeSeries
 
-__all__ = ["RunStore", "StoreStats", "default_store_path"]
+__all__ = [
+    "RunStore",
+    "StoreStats",
+    "ShardStats",
+    "StoreContentionError",
+    "default_store_path",
+    "BUSY_TIMEOUT_MS",
+    "WRITE_RETRIES",
+]
+
+#: Column order of the ``runs`` table — the raw-row contract shared by
+#: :meth:`RunStore.iter_rows` / :meth:`RunStore.put_row` and the
+#: shard ``merge`` / ``export`` machinery in :mod:`repro.store.sharded`.
+ROW_COLUMNS = (
+    "fingerprint",
+    "schema_version",
+    "name",
+    "attack_enabled",
+    "defended",
+    "sensor_seed",
+    "horizon",
+    "spec_json",
+    "summary_json",
+    "payload",
+    "payload_codec",
+    "payload_bytes",
+    "created_at",
+)
 
 PathLike = Union[str, Path]
+
+#: SQLite busy handler timeout applied to every connection.  A writer
+#: holding the WAL lock makes competing writers *wait* this long
+#: before failing with ``database is locked`` instead of failing
+#: immediately.
+BUSY_TIMEOUT_MS = 30_000
+
+#: Bounded retry attempts for a write that still loses the lock race
+#: after the busy timeout (e.g. many processes hammering one shard).
+WRITE_RETRIES = 5
+
+#: Base of the exponential backoff between write retries (seconds);
+#: attempt ``k`` sleeps ``WRITE_RETRY_BACKOFF_S * 2**k``.
+WRITE_RETRY_BACKOFF_S = 0.05
+
+
+class StoreContentionError(ReproError):
+    """A store write kept losing the SQLite lock race.
+
+    Raised only after :data:`WRITE_RETRIES` bounded retries on top of
+    the :data:`BUSY_TIMEOUT_MS` busy handler — seeing this means the
+    store is genuinely oversubscribed (consider sharding it; see
+    :mod:`repro.store.sharded`), not that a writer got unlucky once.
+    """
+
+
+def _is_lock_error(exc: sqlite3.OperationalError) -> bool:
+    """Whether an ``OperationalError`` is the lock/busy race (retryable)."""
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
 
 #: Identifier of the payload encoding; stored per row so the codec can
 #: evolve without invalidating old databases.  ``v1``: a little-endian
@@ -136,14 +199,46 @@ def _decode_payload(blob: bytes, codec: str) -> SimulationResult:
 
 
 @dataclass(frozen=True)
+class ShardStats:
+    """Per-shard slice of a :class:`StoreStats` snapshot."""
+
+    shard: str
+    entries: int
+    payload_bytes: int
+    db_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "entries": self.entries,
+            "payload_bytes": self.payload_bytes,
+            "db_bytes": self.db_bytes,
+        }
+
+
+@dataclass(frozen=True)
 class StoreStats:
-    """Snapshot of a store's contents (``repro cache stats``)."""
+    """Snapshot of a store's contents (``repro cache stats``).
+
+    ``shards`` is empty for a single-file :class:`RunStore` and holds
+    one :class:`ShardStats` per shard for a
+    :class:`~repro.store.sharded.ShardedRunStore` — every consumer of
+    :meth:`as_dict` (the CLI's ``cache stats --json``, the service's
+    ``GET /v1/store/stats``) gets the per-shard breakdown through this
+    one shared path.
+    """
 
     path: str
     entries: int
     payload_bytes: int
     db_bytes: int
     by_scenario: Tuple[Tuple[str, int], ...]
+    shards: Tuple[ShardStats, ...] = ()
+
+    @property
+    def shard_count(self) -> int:
+        """Number of physical database files (1 for a plain store)."""
+        return len(self.shards) or 1
 
     def as_dict(self) -> dict:
         """JSON-compatible form of the snapshot.
@@ -152,13 +247,17 @@ class StoreStats:
         and the service's ``GET /v1/store/stats`` endpoint — one code
         path, so the two surfaces can never drift apart.
         """
-        return {
+        payload = {
             "path": self.path,
             "entries": self.entries,
             "payload_bytes": self.payload_bytes,
             "db_bytes": self.db_bytes,
             "by_scenario": {name: count for name, count in self.by_scenario},
+            "shard_count": self.shard_count,
         }
+        if self.shards:
+            payload["shards"] = [shard.as_dict() for shard in self.shards]
+        return payload
 
     def as_rows(self) -> List[dict]:
         """Rows for :func:`repro.analysis.tables.render_table`."""
@@ -170,6 +269,15 @@ class StoreStats:
                 "db_kb": round(self.db_bytes / 1024.0, 1),
             }
         ]
+        for shard in self.shards:
+            rows.append(
+                {
+                    "scope": shard.shard,
+                    "runs": shard.entries,
+                    "payload_kb": round(shard.payload_bytes / 1024.0, 1),
+                    "db_kb": round(shard.db_bytes / 1024.0, 1),
+                }
+            )
         for name, count in self.by_scenario:
             rows.append(
                 {"scope": name, "runs": count, "payload_kb": None, "db_kb": None}
@@ -188,6 +296,12 @@ class RunStore:
     The store is a context manager; ``close()`` is otherwise optional
     (connections are also released when the object is collected).
     """
+
+    #: Whether cache-aware batch execution may let pool workers write
+    #: to this store directly.  A single WAL file serializes its
+    #: writers, so batch keeps all writes in the parent process; the
+    #: sharded store (:mod:`repro.store.sharded`) overrides this.
+    concurrent_writers = False
 
     def __init__(self, path: Optional[PathLike] = None) -> None:
         self._path = Path(path) if path is not None else default_store_path()
@@ -209,7 +323,8 @@ class RunStore:
             # closing it (closing would roll back the parent's journal).
             self._conn = None
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        conn = sqlite3.connect(str(self._path), timeout=30.0)
+        conn = sqlite3.connect(str(self._path), timeout=BUSY_TIMEOUT_MS / 1000.0)
+        conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.executescript(_SCHEMA)
@@ -256,32 +371,23 @@ class RunStore:
 
         payload = _encode_payload(result)
         summary = json.dumps(result.summary().as_dict())
-        conn = self._connect()
-        with conn:
-            cursor = conn.execute(
-                "INSERT INTO runs (fingerprint, schema_version, "
-                "name, attack_enabled, defended, sensor_seed, horizon, "
-                "spec_json, summary_json, payload, payload_codec, "
-                "payload_bytes, created_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
-                "ON CONFLICT(fingerprint) DO NOTHING",
-                (
-                    fingerprint,
-                    STORE_SCHEMA_VERSION,
-                    result.name,
-                    int(bool(attack_enabled)),
-                    int(bool(defended)),
-                    sensor_seed,
-                    horizon,
-                    json.dumps(spec_dict) if spec_dict is not None else "{}",
-                    summary,
-                    payload,
-                    _PAYLOAD_CODEC,
-                    len(payload),
-                    time.time(),
-                ),
+        written = self._insert_row(
+            (
+                fingerprint,
+                STORE_SCHEMA_VERSION,
+                result.name,
+                int(bool(attack_enabled)),
+                int(bool(defended)),
+                sensor_seed,
+                horizon,
+                json.dumps(spec_dict) if spec_dict is not None else "{}",
+                summary,
+                payload,
+                _PAYLOAD_CODEC,
+                len(payload),
+                time.time(),
             )
-        written = cursor.rowcount > 0
+        )
         tele = _telemetry.current()
         if tele is not None:
             if written:
@@ -290,6 +396,40 @@ class RunStore:
             else:
                 tele.incr("store.write_skips")
         return written
+
+    def _insert_row(self, values: Tuple) -> bool:
+        """Insert one raw row with bounded lock-race retries.
+
+        The busy handler (:data:`BUSY_TIMEOUT_MS`) absorbs ordinary
+        contention; the bounded retry loop on top covers the pathologic
+        case where the handler itself times out under many concurrent
+        writers.  After :data:`WRITE_RETRIES` failed attempts the
+        write surfaces as :class:`StoreContentionError` rather than a
+        raw ``sqlite3.OperationalError``.
+        """
+        sql = (
+            f"INSERT INTO runs ({', '.join(ROW_COLUMNS)}) "
+            f"VALUES ({', '.join('?' for _ in ROW_COLUMNS)}) "
+            "ON CONFLICT(fingerprint) DO NOTHING"
+        )
+        for attempt in range(WRITE_RETRIES):
+            try:
+                conn = self._connect()
+                with conn:
+                    cursor = conn.execute(sql, values)
+                return cursor.rowcount > 0
+            except sqlite3.OperationalError as exc:
+                if not _is_lock_error(exc):
+                    raise
+                _telemetry.incr("store.write_retries")
+                if attempt == WRITE_RETRIES - 1:
+                    raise StoreContentionError(
+                        f"store {self._path} stayed locked through "
+                        f"{WRITE_RETRIES} write attempts "
+                        f"(busy_timeout {BUSY_TIMEOUT_MS} ms each): {exc}"
+                    ) from exc
+                time.sleep(WRITE_RETRY_BACKOFF_S * (2 ** attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def get(self, fingerprint: str) -> Optional[SimulationResult]:
         """Fetch the run stored under ``fingerprint`` (``None`` on miss).
@@ -339,6 +479,34 @@ class RunStore:
             "SELECT fingerprint FROM runs ORDER BY fingerprint"
         ).fetchall()
         return [row[0] for row in rows]
+
+    # -- raw-row transfer (the merge/export substrate) -----------------
+
+    def iter_rows(self) -> Iterable[Dict[str, Any]]:
+        """Yield every stored row as a :data:`ROW_COLUMNS` dict.
+
+        The payload blob travels opaque and untouched — no decode /
+        re-encode round-trip — which is what makes ``merge`` between
+        stores bit-preserving by construction.  Rows come out in
+        fingerprint order.
+        """
+        if not self._path.exists():
+            return
+        cursor = self._connect().execute(
+            f"SELECT {', '.join(ROW_COLUMNS)} FROM runs ORDER BY fingerprint"
+        )
+        for row in cursor:
+            yield dict(zip(ROW_COLUMNS, row))
+
+    def put_row(self, row: Dict[str, Any]) -> bool:
+        """Insert one raw row (immutable semantics, like :meth:`put`).
+
+        ``row`` is a :meth:`iter_rows`-shaped dict; the original
+        ``created_at`` / codec / payload bytes are preserved verbatim.
+        Returns whether a new row was written (an existing fingerprint
+        is left untouched).
+        """
+        return self._insert_row(tuple(row[column] for column in ROW_COLUMNS))
 
     # -- maintenance ---------------------------------------------------
 

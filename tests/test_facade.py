@@ -85,7 +85,7 @@ class TestRunModes:
 
     def test_unknown_mode(self):
         with pytest.raises(ConfigurationError, match="mode"):
-            run(FAST, mode="sweep")
+            run(FAST, mode="grid")
 
 
 class TestSpecInputs:

@@ -1,0 +1,462 @@
+"""Sharded run store (repro.store.sharded): routing, geometry, merge,
+and safe concurrent multi-process writers."""
+
+import hashlib
+import io
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+import repro
+from repro import fig2_scenario, telemetry
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+from repro.simulation import RunSpec, execute_batch
+from repro.store import (
+    DEFAULT_SHARDS,
+    CacheBinding,
+    RunStore,
+    ShardedRunStore,
+    default_sharded_store_path,
+    merge_stores,
+    resolve_cache,
+    shard_index,
+)
+from repro.store.sharded import MANIFEST_NAME, MAX_SHARDS, SHARD_LAYOUT
+
+FAST = fig2_scenario("dos", horizon=20.0)
+
+
+def _fp(i: int) -> str:
+    """A realistic synthetic fingerprint (uniform leading bits)."""
+    return hashlib.sha256(f"run-{i}".encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return repro.run(FAST)
+
+
+class TestShardIndex:
+    def test_matches_prefix_modulo(self):
+        fp = _fp(0)
+        for n in (1, 2, 8, 64):
+            assert shard_index(fp, n) == int(fp[:8], 16) % n
+
+    def test_in_range_and_deterministic(self):
+        for i in range(50):
+            for n in (1, 3, 8):
+                index = shard_index(_fp(i), n)
+                assert 0 <= index < n
+                assert index == shard_index(_fp(i), n)
+
+    def test_spreads_evenly(self):
+        counts = [0] * 8
+        for i in range(2000):
+            counts[shard_index(_fp(i), 8)] += 1
+        # SHA-256 prefixes are uniform; 2000 draws over 8 bins should
+        # land well inside +-40% of the 250-per-bin expectation.
+        assert min(counts) > 150
+        assert max(counts) < 350
+
+
+class TestShardedRunStore:
+    def test_put_get_bit_identical(self, tmp_path, result):
+        with ShardedRunStore(tmp_path / "shards", shards=4) as store:
+            assert store.put(_fp(0), result) is True
+            loaded = store.get(_fp(0))
+        assert loaded.detection_events == result.detection_events
+        for name in result.traces:
+            assert loaded.traces[name].values == result.traces[name].values
+
+    def test_put_touches_only_owner_shard(self, tmp_path, result):
+        path = tmp_path / "shards"
+        with ShardedRunStore(path, shards=4) as store:
+            store.put(_fp(0), result)
+        owner = shard_index(_fp(0), 4)
+        files = sorted(p.name for p in path.iterdir())
+        assert files == sorted([MANIFEST_NAME, f"shard-{owner:04d}.sqlite"])
+
+    def test_reads_do_not_create_files(self, tmp_path):
+        path = tmp_path / "nope"
+        with ShardedRunStore(path, shards=4) as store:
+            assert store.get(_fp(0)) is None
+            assert _fp(0) not in store
+            assert len(store) == 0
+            assert store.fingerprints() == []
+            assert store.stats().entries == 0
+            assert store.evict() == 0
+            assert store.clear() == 0
+        assert not path.exists()
+
+    def test_fingerprints_sorted_across_shards(self, tmp_path, result):
+        keys = [_fp(i) for i in range(12)]
+        with ShardedRunStore(tmp_path / "shards", shards=4) as store:
+            for key in keys:
+                store.put(key, result)
+            assert len(store) == 12
+            assert store.fingerprints() == sorted(keys)
+            assert all(key in store for key in keys)
+
+    def test_put_is_immutable(self, tmp_path, result):
+        with ShardedRunStore(tmp_path / "shards", shards=2) as store:
+            assert store.put(_fp(0), result) is True
+            assert store.put(_fp(0), result) is False
+            assert len(store) == 1
+
+    def test_stats_per_shard_breakdown(self, tmp_path, result):
+        with ShardedRunStore(tmp_path / "shards", shards=2) as store:
+            for i in range(6):
+                store.put(_fp(i), result)
+            stats = store.stats()
+        assert stats.entries == 6
+        assert stats.shard_count == 2
+        assert [s.shard for s in stats.shards] == [
+            "shard-0000.sqlite",
+            "shard-0001.sqlite",
+        ]
+        assert sum(s.entries for s in stats.shards) == 6
+        assert dict(stats.by_scenario) == {result.name: 6}
+        as_dict = stats.as_dict()
+        assert as_dict["shard_count"] == 2
+        assert len(as_dict["shards"]) == 2
+        # Unsharded stats don't carry the breakdown, only the count.
+        flat = RunStore(tmp_path / "flat.sqlite").stats().as_dict()
+        assert flat["shard_count"] == 1
+        assert "shards" not in flat
+
+    def test_stats_counts_missing_shards_as_empty(self, tmp_path, result):
+        with ShardedRunStore(tmp_path / "shards", shards=8) as store:
+            store.put(_fp(0), result)
+            stats = store.stats()
+        assert len(stats.shards) == 8
+        assert sum(s.entries for s in stats.shards) == 1
+
+    def test_evict_routes_and_clear(self, tmp_path, result):
+        keys = [_fp(i) for i in range(5)]
+        with ShardedRunStore(tmp_path / "shards", shards=4) as store:
+            for key in keys:
+                store.put(key, result)
+            assert store.evict([keys[0]]) == 1
+            assert store.evict([]) == 0
+            assert store.evict([keys[0]]) == 0  # already gone
+            assert len(store) == 4
+            assert store.clear() == 4
+            assert len(store) == 0
+
+    def test_export_inventory(self, tmp_path, result):
+        keys = [_fp(i) for i in range(4)]
+        with ShardedRunStore(tmp_path / "shards", shards=2) as store:
+            for key in keys:
+                store.put(key, result, sensor_seed=7)
+            out = store.export(tmp_path / "inv.json")
+        data = json.loads(out.read_text())
+        assert data["layout"] == SHARD_LAYOUT
+        assert data["shards"] == 2
+        exported = [entry["fingerprint"] for entry in data["entries"]]
+        assert exported == sorted(keys)
+        assert all("payload" not in entry for entry in data["entries"])
+        assert data["entries"][0]["sensor_seed"] == 7
+
+    def test_default_path_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cachedir"))
+        assert (
+            default_sharded_store_path()
+            == tmp_path / "cachedir" / "runstore-shards"
+        )
+
+    def test_resolve_cache_accepts_sharded(self, tmp_path):
+        store = ShardedRunStore(tmp_path / "shards", shards=2)
+        binding = resolve_cache(store)
+        assert binding.store is store
+        assert binding.mode == "readwrite"
+        assert not binding.owns_store
+
+    def test_concurrent_writers_flag(self, tmp_path):
+        assert ShardedRunStore(tmp_path / "s", shards=2).concurrent_writers
+        assert not RunStore(tmp_path / "f.sqlite").concurrent_writers
+
+
+class TestManifest:
+    def test_written_on_first_put(self, tmp_path, result):
+        path = tmp_path / "shards"
+        with ShardedRunStore(path, shards=3) as store:
+            store.put(_fp(0), result)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        assert manifest == {"layout": SHARD_LAYOUT, "shards": 3}
+
+    def test_reopen_autodetects_geometry(self, tmp_path, result):
+        path = tmp_path / "shards"
+        with ShardedRunStore(path, shards=3) as store:
+            store.put(_fp(0), result)
+        with ShardedRunStore(path) as reopened:
+            assert reopened.shards == 3
+            assert reopened.get(_fp(0)) is not None
+
+    def test_reopen_with_wrong_geometry_refused(self, tmp_path, result):
+        path = tmp_path / "shards"
+        with ShardedRunStore(path, shards=3) as store:
+            store.put(_fp(0), result)
+        with pytest.raises(ConfigurationError, match="laid out as 3 shards"):
+            ShardedRunStore(path, shards=4)
+
+    def test_shard_files_without_manifest_refused(self, tmp_path):
+        path = tmp_path / "shards"
+        path.mkdir()
+        (path / "shard-0000.sqlite").touch()
+        with pytest.raises(ConfigurationError, match="no shards.json"):
+            ShardedRunStore(path)
+
+    def test_unreadable_manifest_refused(self, tmp_path):
+        path = tmp_path / "shards"
+        path.mkdir()
+        (path / MANIFEST_NAME).write_text("not json")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            ShardedRunStore(path)
+
+    def test_unknown_layout_refused(self, tmp_path):
+        path = tmp_path / "shards"
+        path.mkdir()
+        (path / MANIFEST_NAME).write_text(
+            json.dumps({"layout": "range-v9", "shards": 2})
+        )
+        with pytest.raises(ConfigurationError, match="unknown shard layout"):
+            ShardedRunStore(path)
+
+    @pytest.mark.parametrize("bad", [0, -1, MAX_SHARDS + 1, True, "8", 2.0])
+    def test_invalid_shard_counts(self, tmp_path, bad):
+        with pytest.raises(ConfigurationError):
+            ShardedRunStore(tmp_path / "shards", shards=bad)
+
+    def test_default_shard_count(self, tmp_path):
+        assert ShardedRunStore(tmp_path / "shards").shards == DEFAULT_SHARDS
+
+    def test_prepare_idempotent(self, tmp_path):
+        path = tmp_path / "shards"
+        store = ShardedRunStore(path, shards=2)
+        store.prepare()
+        before = (path / MANIFEST_NAME).read_text()
+        store.prepare()
+        assert (path / MANIFEST_NAME).read_text() == before
+
+
+class TestMerge:
+    def _rows(self, store):
+        return {
+            row["fingerprint"]: (row["payload"], row["created_at"])
+            for row in store.iter_rows()
+        }
+
+    def test_sharded_to_single_is_byte_preserving(self, tmp_path, result):
+        with ShardedRunStore(tmp_path / "shards", shards=4) as source:
+            for i in range(6):
+                source.put(_fp(i), result)
+            with RunStore(tmp_path / "flat.sqlite") as dest:
+                assert merge_stores(source, dest) == 6
+                assert self._rows(dest) == self._rows(source)
+
+    def test_single_to_sharded_reshard(self, tmp_path, result):
+        with RunStore(tmp_path / "flat.sqlite") as source:
+            for i in range(6):
+                source.put(_fp(i), result)
+            with ShardedRunStore(tmp_path / "shards", shards=3) as dest:
+                assert dest.merge_from(source) == 6
+                assert dest.fingerprints() == source.fingerprints()
+                loaded = dest.get(_fp(0))
+        for name in result.traces:
+            assert loaded.traces[name].values == result.traces[name].values
+
+    def test_sharded_to_sharded_changes_geometry(self, tmp_path, result):
+        with ShardedRunStore(tmp_path / "a", shards=4) as source:
+            for i in range(6):
+                source.put(_fp(i), result)
+            with ShardedRunStore(tmp_path / "b", shards=2) as dest:
+                assert merge_stores(source, dest) == 6
+                assert dest.shards == 2
+                assert self._rows(dest) == self._rows(source)
+
+    def test_merge_skips_existing(self, tmp_path, result):
+        with ShardedRunStore(tmp_path / "shards", shards=2) as source:
+            for i in range(3):
+                source.put(_fp(i), result)
+            with RunStore(tmp_path / "flat.sqlite") as dest:
+                assert merge_stores(source, dest) == 3
+                assert merge_stores(source, dest) == 0
+                assert len(dest) == 3
+
+
+# ----------------------------------------------------------------------
+# multi-process writers (module-level workers: must be picklable)
+# ----------------------------------------------------------------------
+
+
+def _write_runs(path, shards, start, count):
+    """Worker: open the sharded store and write `count` runs."""
+    result = repro.run(FAST)
+    with ShardedRunStore(path, shards=shards) as store:
+        written = sum(
+            bool(store.put(_fp(start + i), result)) for i in range(count)
+        )
+    return os.getpid(), written
+
+
+class TestMultiProcessWriters:
+    def test_disjoint_writers_lose_nothing(self, tmp_path):
+        path = str(tmp_path / "shards")
+        ShardedRunStore(path, shards=4).prepare()
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_write_runs, path, 4, worker * 100, 8)
+                for worker in range(4)
+            ]
+            outcomes = [f.result() for f in futures]
+        assert sum(written for _, written in outcomes) == 32
+        with ShardedRunStore(path) as store:
+            assert len(store) == 32
+            expected = sorted(
+                _fp(worker * 100 + i) for worker in range(4) for i in range(8)
+            )
+            assert store.fingerprints() == expected
+
+    def test_overlapping_writers_single_winner(self, tmp_path):
+        """Every worker races on the same fingerprints (and on manifest
+        creation): exactly one insert wins per key, none are lost."""
+        path = str(tmp_path / "shards")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_write_runs, path, 4, 0, 8) for _ in range(4)
+            ]
+            outcomes = [f.result() for f in futures]
+        assert sum(written for _, written in outcomes) == 8
+        with ShardedRunStore(path) as store:
+            assert len(store) == 8
+            assert store.shards == 4
+
+
+class TestBatchWorkerWrites:
+    def _specs(self, n):
+        return [
+            RunSpec(FAST.with_overrides(sensor_seed=seed)) for seed in range(n)
+        ]
+
+    def test_cold_then_warm_through_pool(self, tmp_path):
+        specs = self._specs(4)
+        with ShardedRunStore(tmp_path / "shards", shards=4) as store:
+            with telemetry.session() as tele:
+                cold = execute_batch(specs, workers=2, cache=store)
+            assert cold.cache_hits == 0
+            assert len(store) == 4
+            if cold.parallel:
+                # The pool workers wrote their own shards directly.
+                assert tele.counters["store.worker_writes"] == 4
+
+            warm = execute_batch(specs, workers=1, cache=store)
+            assert warm.cache_hits == 4
+            assert all(r.cached for r in warm.records)
+
+        plain = execute_batch(specs)
+        for a, b in zip(warm.records, plain.records):
+            for name in a.payload.traces:
+                assert (
+                    a.payload.traces[name].values == b.payload.traces[name].values
+                )
+
+    def test_readonly_sharded_binding_never_writes(self, tmp_path):
+        specs = self._specs(2)
+        with ShardedRunStore(tmp_path / "shards", shards=2) as store:
+            readonly = CacheBinding(store, "readonly")
+            miss = execute_batch(specs, workers=2, cache=readonly)
+            assert miss.cache_hits == 0
+            assert len(store) == 0
+
+
+class TestShardedCLI:
+    def _populated(self, tmp_path, result, n=3, shards=2):
+        path = tmp_path / "shards"
+        with ShardedRunStore(path, shards=shards) as store:
+            for i in range(n):
+                store.put(_fp(i), result)
+            expected = store.stats().as_dict()
+        return path, expected
+
+    @staticmethod
+    def _without_db_bytes(stats):
+        """db_bytes moves with WAL checkpoints; compare the rest."""
+        stats = dict(stats, shards=[dict(s) for s in stats["shards"]])
+        stats.pop("db_bytes")
+        for shard in stats["shards"]:
+            shard.pop("db_bytes")
+        return stats
+
+    def test_stats_json_matches_store(self, tmp_path, result):
+        path, expected = self._populated(tmp_path, result)
+        out = io.StringIO()
+        code = main(
+            ["cache", "stats", "--store", str(path), "--json"], out=out
+        )
+        assert code == 0
+        stats = json.loads(out.getvalue())
+        assert self._without_db_bytes(stats) == self._without_db_bytes(expected)
+        assert stats["shard_count"] == 2
+        assert len(stats["shards"]) == 2
+
+    def test_stats_table_has_shard_rows(self, tmp_path, result):
+        path, _ = self._populated(tmp_path, result)
+        out = io.StringIO()
+        assert main(["cache", "stats", "--store", str(path)], out=out) == 0
+        assert "shard-0000.sqlite" in out.getvalue()
+
+    def test_merge_to_single_file(self, tmp_path, result):
+        path, _ = self._populated(tmp_path, result)
+        dest = tmp_path / "flat.sqlite"
+        out = io.StringIO()
+        code = main(
+            ["cache", "merge", str(path), "--store", str(dest)], out=out
+        )
+        assert code == 0
+        assert "merged 3 runs" in out.getvalue()
+        with RunStore(dest) as merged:
+            assert len(merged) == 3
+
+    def test_merge_to_new_sharded_store(self, tmp_path, result):
+        path, _ = self._populated(tmp_path, result)
+        dest = tmp_path / "reshard"
+        out = io.StringIO()
+        code = main(
+            [
+                "cache", "merge", str(path),
+                "--store", str(dest), "--shards", "4",
+            ],
+            out=out,
+        )
+        assert code == 0
+        with ShardedRunStore(dest) as merged:
+            assert merged.shards == 4
+            assert len(merged) == 3
+
+    def test_export_sharded(self, tmp_path, result):
+        path, _ = self._populated(tmp_path, result)
+        dest = tmp_path / "inv.json"
+        out = io.StringIO()
+        code = main(
+            ["cache", "export", "--store", str(path), str(dest)], out=out
+        )
+        assert code == 0
+        assert json.loads(dest.read_text())["shards"] == 2
+
+    def test_run_custom_store_shards_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.simulation import save_scenario
+
+        spec_path = tmp_path / "spec.json"
+        save_scenario(FAST, spec_path)
+        out = io.StringIO()
+        code = main(
+            ["run-custom", str(spec_path), "--store-shards", "2"], out=out
+        )
+        assert code == 0
+        with ShardedRunStore(tmp_path / "runstore-shards") as store:
+            assert store.shards == 2
+            assert len(store) == 3  # baseline / attacked / defended
