@@ -302,6 +302,20 @@ REGISTRY: Tuple[Experiment, ...] = (
         kind="extension",
     ),
     Experiment(
+        identifier="defense-comparison",
+        title="Defense strategies head-to-head: RLS, secure state "
+        "reconstruction, CBF safety filter",
+        paper_claim="",
+        workload="All four figure panels x 7 defense variants (undefended, "
+        "per-channel RLS, dead reckoning, secure reconstruction, safety "
+        "filter with and without detection, combined); asserts the full "
+        "strategies are collision-free everywhere and the filter's "
+        "detection-free DoS guarantee; writes BENCH_defense.json",
+        bench="bench_defense_comparison.py",
+        modules=("defense", "analysis.defense_comparison", "simulation"),
+        kind="extension",
+    ),
+    Experiment(
         identifier="service-throughput",
         title="Simulation service: sustained req/s with single-flight",
         paper_claim="",

@@ -36,8 +36,10 @@ Commands
     pick the binding (``--port 0`` for an ephemeral port; the bound
     base URL is the first stdout line), ``--workers`` bounds the
     process pool, ``--store`` addresses a non-default store file
-    (``--store-shards N`` serves a sharded store instead) and
-    ``--backend`` picks the default engine for executed runs.
+    (``--store-shards N`` serves a sharded store instead),
+    ``--backend`` picks the default engine for executed runs and
+    ``--max-jobs N`` bounds the finished-jobs table (oldest evicted;
+    eviction counts surface in ``/healthz``).
 ``sweep``
     Adaptive Monte-Carlo sweeps (:mod:`repro.simulation.sweep`):
     ``sweep run --cells fig2a,fig2b`` estimates a metric over the
@@ -48,6 +50,10 @@ Commands
     Inspect JSONL telemetry traces (:mod:`repro.telemetry`):
     ``trace summary FILE`` prints the per-stage timing table,
     ``trace export FILE DEST`` writes the aggregate as JSON.
+
+``run`` and ``run-custom`` accept ``--defense
+{rls,secure_reconstruction,safety_filter,combined}`` to override the
+defense strategy of the defended runs (see :mod:`repro.defense`).
 
 ``run``, ``run-custom`` and ``report`` accept ``--workers N`` to fan
 their independent runs out over a process pool (see
@@ -100,6 +106,19 @@ _FIGURE_FACTORIES = {
     "fig3a": lambda: fig3_scenario("dos"),
     "fig3b": lambda: fig3_scenario("delay"),
 }
+
+
+def _add_defense_arg(parser: argparse.ArgumentParser) -> None:
+    """``--defense`` strategy override shared by run / run-custom."""
+    from repro.simulation.scenario import DEFENSE_STRATEGIES
+
+    parser.add_argument(
+        "--defense",
+        choices=DEFENSE_STRATEGIES,
+        default=None,
+        help="override the scenario's defense strategy for the defended "
+        "runs (default: the scenario's configured strategy, usually rls)",
+    )
 
 
 def _add_worker_and_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -206,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-plot", action="store_true", help="skip the ASCII figure"
     )
+    _add_defense_arg(run_parser)
     _add_worker_and_cache_args(run_parser)
 
     custom_parser = subparsers.add_parser(
@@ -214,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     custom_parser.add_argument(
         "spec", help="path to the scenario spec JSON ('-' reads stdin)"
     )
+    _add_defense_arg(custom_parser)
     _add_worker_and_cache_args(custom_parser)
 
     report_parser = subparsers.add_parser(
@@ -420,6 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="default engine for executed runs (default: $REPRO_BACKEND, "
         "else scalar)",
     )
+    serve_parser.add_argument(
+        "--max-jobs",
+        dest="max_jobs",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="retain at most N finished jobs in the jobs table, evicting "
+        "the oldest (default: 4096; evictions are counted in /healthz)",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect JSONL telemetry traces"
@@ -445,10 +475,16 @@ def _run_figure(
     workers: int = 1,
     cache: str = "off",
     backend: Optional[str] = None,
+    defense: Optional[str] = None,
 ) -> int:
     scenario = _FIGURE_FACTORIES[identifier]().with_overrides(sensor_seed=seed)
     data = run_experiment(
-        scenario, mode="figure", workers=workers, cache=cache, backend=backend
+        scenario,
+        mode="figure",
+        workers=workers,
+        cache=cache,
+        backend=backend,
+        defense=defense,
     )
     rows = [
         data.baseline.summary().as_dict(),
@@ -755,6 +791,7 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
                 args.workers,
                 _cache_mode(args),
                 args.backend,
+                args.defense,
             )
         print(
             f"{experiment.identifier} is regenerated by its benchmark:\n"
@@ -783,6 +820,7 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
             workers=args.workers,
             cache=_cache_mode(args),
             backend=args.backend,
+            defense=args.defense,
         )
         rows = [
             data.baseline.summary().as_dict(),
@@ -832,6 +870,7 @@ def _dispatch(args: argparse.Namespace, out, err) -> int:
             store_shards=args.store_shards,
             workers=args.workers,
             backend=args.backend,
+            max_retained_jobs=args.max_jobs,
             out=out,
             err=err,
         )

@@ -58,11 +58,27 @@ class PRBSGenerator:
         return word
 
     def bernoulli(self, probability: float, resolution_bits: int = 16) -> bool:
-        """Draw a pseudo-random Bernoulli(p) decision from the bit stream."""
+        """Draw a pseudo-random Bernoulli(p) decision from the bit stream.
+
+        For full-register draws (``resolution_bits >= 16``) the LFSR
+        never emits the all-zeros word, so the word is uniform on
+        ``[1, 2^b - 1]`` rather than ``[0, 2^b - 1]``; the naive
+        ``word < p * 2^b`` threshold is therefore biased at the
+        endpoints (any ``p`` below ``2 / 2^b`` could never fire).  The
+        word is shifted onto ``[0, 2^b - 2]`` and compared against
+        ``p * (2^b - 1)``, which makes the per-period fire count exactly
+        ``floor(p * (2^b - 1))`` — in particular ``p = 0`` never fires
+        and ``p = 1`` always fires.  Shorter draws can legitimately
+        produce zero words and keep the plain comparison.
+        """
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability}")
+        word = self.next_word(resolution_bits)
+        if resolution_bits >= self._WIDTH:
+            threshold = int(probability * ((1 << resolution_bits) - 1))
+            return (word - 1) < threshold
         threshold = int(probability * (1 << resolution_bits))
-        return self.next_word(resolution_bits) < threshold
+        return word < threshold
 
 
 class ChallengeSchedule:

@@ -1,0 +1,35 @@
+"""Defense track beyond the paper's RLS substitution.
+
+Two complementary layers:
+
+* :mod:`repro.defense.reconstruction` /
+  :mod:`repro.defense.estimator` — secure state reconstruction under
+  s-sparse sensor attacks (estimation layer);
+* :mod:`repro.defense.safety_filter` — a control-barrier clamp on the
+  commanded acceleration (actuation layer).
+
+Select them per scenario through
+:attr:`repro.simulation.scenario.DefenseConfig.strategy`.
+"""
+
+from repro.defense.estimator import (
+    SecureReconstructionEstimator,
+    follower_relative_system,
+)
+from repro.defense.reconstruction import (
+    ReconstructionCandidate,
+    ReconstructionResult,
+    SecureStateReconstruct,
+    SSProblem,
+)
+from repro.defense.safety_filter import SafetyFilter
+
+__all__ = [
+    "SSProblem",
+    "ReconstructionCandidate",
+    "ReconstructionResult",
+    "SecureStateReconstruct",
+    "SecureReconstructionEstimator",
+    "follower_relative_system",
+    "SafetyFilter",
+]

@@ -1,0 +1,335 @@
+"""Secure state reconstruction under s-sparse sensor attacks.
+
+The related work the paper builds on (Fawzi et al. [3], Chong et
+al. [1]) poses state estimation under attack as a combinatorial
+problem: at most ``s`` of the ``p`` sensors are corrupted, the rest are
+honest, and the true initial state is the one consistent with *some*
+subset of ``p - s`` sensors over an observation window.
+:class:`SecureStateReconstruct` solves it by brute force — one
+least-squares observer per sensor subset of size ``p - s``, keeping the
+candidates whose residual is within tolerance:
+
+    y_i[k] = C_i A^k x0 + C_i f[k]          (f = input contribution)
+
+stacked over the window and the subset's sensors, solved for ``x0``.
+
+The structural guarantee (checked through
+:func:`repro.lti.observability.is_sparse_observable`): when ``(A, C)``
+is **2s-sparse observable** and at most ``s`` sensors are attacked, the
+honest subset's candidate is exact and every candidate consistent with
+the data agrees with it — the reconstruction is unique.  When the
+guarantee fails (e.g. the car-following radar's velocity channel alone
+cannot observe the gap), :attr:`ReconstructionResult.guaranteed` is
+False and ``unobservable_subsets`` names the sensor subsets whose
+candidates are structurally ambiguous; callers must disambiguate with a
+prior (see :mod:`repro.defense.estimator`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.lti.observability import is_sparse_observable
+
+__all__ = [
+    "SSProblem",
+    "ReconstructionCandidate",
+    "ReconstructionResult",
+    "SecureStateReconstruct",
+]
+
+
+@dataclass(frozen=True)
+class SSProblem:
+    """One secure-state-reconstruction problem instance.
+
+    Attributes
+    ----------
+    A, B, C:
+        Discrete-time LTI model ``x[k+1] = A x[k] + B u[k]``,
+        ``y[k] = C x[k]`` (+ sparse attack).  ``B`` may be None for an
+        autonomous window.
+    ys:
+        Measurement window, shape ``(T, p)`` — row ``k`` holds every
+        sensor's reading at step ``k``.
+    us:
+        Inputs applied *between* samples, shape ``(T - 1, m)``; ``u[k]``
+        acts on the transition from ``ys[k]`` to ``ys[k+1]``.  None (or
+        empty) means zero input.
+    s:
+        Assumed maximum number of attacked sensors.
+    dts:
+        Optional per-interval durations (length ``T - 1``) for windows
+        whose samples are *not* uniformly spaced (e.g. trusted radar
+        samples with challenge instants missing).  Requires a
+        ``transition`` callable on :class:`SecureStateReconstruct`;
+        without one, every interval uses the nominal ``A``/``B``.
+    """
+
+    A: np.ndarray
+    B: Optional[np.ndarray]
+    C: np.ndarray
+    ys: np.ndarray
+    us: Optional[np.ndarray] = None
+    s: int = 1
+    dts: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "A", np.atleast_2d(np.asarray(self.A, float)))
+        object.__setattr__(self, "C", np.atleast_2d(np.asarray(self.C, float)))
+        object.__setattr__(self, "ys", np.atleast_2d(np.asarray(self.ys, float)))
+        if self.B is not None:
+            B = np.asarray(self.B, float).reshape(self.A.shape[0], -1)
+            object.__setattr__(self, "B", B)
+        if self.us is not None:
+            us = np.atleast_2d(np.asarray(self.us, float))
+            object.__setattr__(self, "us", us)
+        n = self.A.shape[0]
+        if self.A.shape != (n, n):
+            raise ConfigurationError(f"A must be square, got {self.A.shape}")
+        if self.C.shape[1] != n:
+            raise ConfigurationError(
+                f"C must have {n} columns, got {self.C.shape}"
+            )
+        if self.ys.shape[1] != self.C.shape[0]:
+            raise ConfigurationError(
+                f"ys must have one column per sensor ({self.C.shape[0]}), "
+                f"got shape {self.ys.shape}"
+            )
+        if self.ys.shape[0] < 2:
+            raise ConfigurationError(
+                f"the window needs at least 2 samples, got {self.ys.shape[0]}"
+            )
+        if self.s < 0:
+            raise ConfigurationError(f"s must be >= 0, got {self.s}")
+        if self.s >= self.C.shape[0]:
+            raise ConfigurationError(
+                f"s must leave at least one honest sensor "
+                f"(s={self.s}, p={self.C.shape[0]})"
+            )
+        if self.us is not None and len(self.us) not in (0, len(self.ys) - 1):
+            raise ConfigurationError(
+                f"us must hold one input per transition "
+                f"({len(self.ys) - 1}), got {len(self.us)}"
+            )
+        if self.us is not None and self.B is None:
+            raise ConfigurationError("us given without a B matrix")
+        if self.dts is not None:
+            dts = np.asarray(self.dts, float).reshape(-1)
+            object.__setattr__(self, "dts", dts)
+            if len(dts) != len(self.ys) - 1:
+                raise ConfigurationError(
+                    f"dts must hold one duration per transition "
+                    f"({len(self.ys) - 1}), got {len(dts)}"
+                )
+            if np.any(dts <= 0.0):
+                raise ConfigurationError("dts must be strictly positive")
+
+    @property
+    def n(self) -> int:
+        """State dimension."""
+        return self.A.shape[0]
+
+    @property
+    def p(self) -> int:
+        """Sensor count."""
+        return self.C.shape[0]
+
+    @property
+    def io_length(self) -> int:
+        """Window length ``T`` (number of measurement rows)."""
+        return self.ys.shape[0]
+
+    def input_contributions(self) -> np.ndarray:
+        """State contribution of the inputs: ``f[k]`` with ``f[0] = 0``.
+
+        ``x[k] = A^k x0 + f[k]`` where ``f[k+1] = A f[k] + B u[k]``
+        (nominal uniform spacing; the solver recomputes this with the
+        per-interval transition when one is configured).
+        """
+        T, n = self.io_length, self.n
+        f = np.zeros((T, n))
+        if self.B is None or self.us is None or len(self.us) == 0:
+            return f
+        for k in range(T - 1):
+            f[k + 1] = self.A @ f[k] + self.B @ self.us[k]
+        return f
+
+
+@dataclass(frozen=True)
+class ReconstructionCandidate:
+    """One sensor subset's least-squares state hypothesis."""
+
+    #: Sensors assumed honest.
+    sensors: Tuple[int, ...]
+    #: Complement — the sensors this hypothesis accuses.
+    attacked: Tuple[int, ...]
+    #: Initial state at the start of the window.
+    x0: np.ndarray
+    #: State propagated to the window's last sample instant.
+    x_end: np.ndarray
+    #: RMS measurement residual over the subset's window rows.
+    residual: float
+    #: Whether the subset's stacked observability map had full rank
+    #: (rank-deficient subsets yield minimum-norm, non-unique x0).
+    observable: bool
+    #: Covariance of ``x_end`` under i.i.d. unit-variance measurement
+    #: noise: ``Φ (MᵀM)⁻¹ Φᵀ``.  Scale by the noise variance to get the
+    #: actual covariance; None for rank-deficient subsets.
+    x_end_covariance: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class ReconstructionResult:
+    """Outcome of :meth:`SecureStateReconstruct.solve`.
+
+    ``candidates`` holds every subset hypothesis sorted by residual;
+    ``consistent`` only those whose residual passes the tolerance *and*
+    whose subset is observable.  ``guaranteed`` reports the structural
+    2s-sparse observability condition — when False the reconstruction
+    may be ambiguous even with a perfect model, and
+    ``unobservable_subsets`` lists the offending subsets.
+    """
+
+    candidates: Tuple[ReconstructionCandidate, ...]
+    consistent: Tuple[ReconstructionCandidate, ...]
+    guaranteed: bool
+    unobservable_subsets: Tuple[Tuple[int, ...], ...] = field(
+        default_factory=tuple
+    )
+
+    @property
+    def best(self) -> Optional[ReconstructionCandidate]:
+        """Lowest-residual consistent candidate (None when all rejected)."""
+        return self.consistent[0] if self.consistent else None
+
+
+class SecureStateReconstruct:
+    """Brute-force subset search over an :class:`SSProblem`.
+
+    Parameters
+    ----------
+    problem:
+        The model, window and sparsity assumption.
+    residual_threshold:
+        RMS residual above which a subset is rejected as inconsistent
+        (units of the measurements).
+    rank_tolerance:
+        Singular-value tolerance of the observability rank checks.
+    transition:
+        Optional ``dt → (A_dt, B_dt)`` builder for non-uniform windows
+        (``problem.dts``); each interval then uses its exact
+        discretization instead of the nominal matrices.  Ignored when
+        the problem carries no ``dts``.
+    """
+
+    def __init__(
+        self,
+        problem: SSProblem,
+        residual_threshold: float = 1e-6,
+        rank_tolerance: float = 1e-10,
+        transition=None,
+    ):
+        if residual_threshold <= 0.0:
+            raise ConfigurationError(
+                f"residual_threshold must be positive, got {residual_threshold}"
+            )
+        self.problem = problem
+        self.residual_threshold = float(residual_threshold)
+        self.rank_tolerance = float(rank_tolerance)
+        # Cumulative state-transition maps Φ(t_k, t_0) over the window
+        # and the input contributions f[k], shared by every subset.
+        T, n = problem.io_length, problem.n
+        powers = np.empty((T, n, n))
+        powers[0] = np.eye(n)
+        inputs = np.zeros((T, n))
+        has_input = problem.B is not None and (
+            problem.us is not None and len(problem.us) > 0
+        )
+        for k in range(T - 1):
+            if transition is not None and problem.dts is not None:
+                A_k, B_k = transition(float(problem.dts[k]))
+            else:
+                A_k, B_k = problem.A, problem.B
+            powers[k + 1] = A_k @ powers[k]
+            if has_input:
+                inputs[k + 1] = A_k @ inputs[k] + B_k @ problem.us[k]
+        self._powers = powers
+        self._inputs = inputs
+
+    # ------------------------------------------------------------------
+
+    def subsets(self) -> List[Tuple[int, ...]]:
+        """Every sensor subset of size ``p - s`` (the honest hypotheses)."""
+        p, s = self.problem.p, self.problem.s
+        return list(itertools.combinations(range(p), p - s))
+
+    def _solve_subset(
+        self, sensors: Sequence[int]
+    ) -> ReconstructionCandidate:
+        """Least-squares observer for one assumed-honest subset."""
+        problem = self.problem
+        C_sub = problem.C[list(sensors), :]
+        T = problem.io_length
+        # Stacked map: rows (k, i) — sensor i at step k.
+        stacked = np.vstack([C_sub @ self._powers[k] for k in range(T)])
+        targets = np.concatenate(
+            [
+                problem.ys[k, list(sensors)] - C_sub @ self._inputs[k]
+                for k in range(T)
+            ]
+        )
+        rank = int(
+            np.linalg.matrix_rank(stacked, tol=self.rank_tolerance)
+        )
+        x0, *_ = np.linalg.lstsq(stacked, targets, rcond=None)
+        residual = float(
+            np.sqrt(np.mean((stacked @ x0 - targets) ** 2))
+        )
+        end_map = self._powers[T - 1]
+        x_end = end_map @ x0 + self._inputs[T - 1]
+        covariance = None
+        if rank == problem.n:
+            gram_inverse = np.linalg.inv(stacked.T @ stacked)
+            covariance = end_map @ gram_inverse @ end_map.T
+        return ReconstructionCandidate(
+            sensors=tuple(int(i) for i in sensors),
+            attacked=tuple(
+                i for i in range(problem.p) if i not in set(sensors)
+            ),
+            x0=x0,
+            x_end=x_end,
+            residual=residual,
+            observable=rank == problem.n,
+            x_end_covariance=covariance,
+        )
+
+    def solve(self) -> ReconstructionResult:
+        """Search every subset and classify the candidates."""
+        problem = self.problem
+        candidates = sorted(
+            (self._solve_subset(sensors) for sensors in self.subsets()),
+            key=lambda c: c.residual,
+        )
+        consistent = tuple(
+            c
+            for c in candidates
+            if c.observable and c.residual <= self.residual_threshold
+        )
+        guaranteed = is_sparse_observable(
+            problem.A, problem.C, 2 * problem.s, tolerance=self.rank_tolerance
+        )
+        unobservable = tuple(
+            c.sensors for c in candidates if not c.observable
+        )
+        return ReconstructionResult(
+            candidates=tuple(candidates),
+            consistent=consistent,
+            guaranteed=guaranteed,
+            unobservable_subsets=unobservable,
+        )

@@ -125,6 +125,7 @@ def run(
     seeds: Union[int, Sequence[int], None] = None,
     attack_enabled: bool = True,
     defended: bool = True,
+    defense: Optional[str] = None,
     cache: Any = "off",
     backend: Optional[str] = None,
     sweep: Optional[dict] = None,
@@ -161,6 +162,14 @@ def run(
         Run toggles for ``"single"`` and ``"monte_carlo"`` (the figure
         triple runs all combinations; platoon defense is configured on
         the scenario itself).
+    defense:
+        Convenience override of the scenario's defense *strategy*
+        (:data:`~repro.simulation.scenario.DEFENSE_STRATEGIES`:
+        ``"rls"``, ``"secure_reconstruction"``, ``"safety_filter"``,
+        ``"combined"``); equivalent to deriving the scenario with a
+        replaced ``defense.strategy`` first.  ``None`` (default) keeps
+        the scenario's configured strategy.  Not applicable to platoon
+        scenarios.
     cache:
         Run-store policy: ``"off"`` (default, pre-store behavior),
         ``"readonly"`` (serve fingerprint hits from the persistent
@@ -193,6 +202,25 @@ def run(
     scenario = _resolve_scenario(scenario_or_spec)
     workers = validate_workers(workers)
     backend = resolve_backend(backend)
+
+    if defense is not None:
+        from dataclasses import replace as _replace
+
+        from repro.simulation.scenario import DEFENSE_STRATEGIES
+
+        if isinstance(scenario, PlatoonScenario):
+            raise ConfigurationError(
+                "defense= does not apply to platoon scenarios; configure "
+                "the platoon's defense on the scenario itself"
+            )
+        if defense not in DEFENSE_STRATEGIES:
+            raise ConfigurationError(
+                f"defense must be one of {', '.join(DEFENSE_STRATEGIES)}; "
+                f"got {defense!r}"
+            )
+        scenario = scenario.with_overrides(
+            defense=_replace(scenario.defense, strategy=defense)
+        )
 
     if isinstance(scenario, PlatoonScenario) and mode == "single":
         mode = "platoon"

@@ -20,6 +20,9 @@ from repro.lti.observability import (
     controllability_matrix,
     is_observable,
     is_controllable,
+    is_sparse_observable,
+    sparse_observability_failures,
+    unobservable_subspace_dimension,
 )
 from repro.lti.discretize import (
     first_order_lag_discrete,
@@ -37,6 +40,9 @@ __all__ = [
     "controllability_matrix",
     "is_observable",
     "is_controllable",
+    "is_sparse_observable",
+    "sparse_observability_failures",
+    "unobservable_subspace_dimension",
     "first_order_lag_discrete",
     "zoh_discretize",
     "double_integrator_discrete",

@@ -10,6 +10,9 @@ on.
 
 from __future__ import annotations
 
+import itertools
+from typing import List, Tuple
+
 import numpy as np
 
 __all__ = [
@@ -18,6 +21,8 @@ __all__ = [
     "is_observable",
     "is_controllable",
     "unobservable_subspace_dimension",
+    "sparse_observability_failures",
+    "is_sparse_observable",
 ]
 
 
@@ -74,3 +79,43 @@ def unobservable_subspace_dimension(A, C, tolerance: float = 1e-10) -> int:
     obs = observability_matrix(A, C)
     n = np.atleast_2d(np.asarray(A)).shape[0]
     return n - int(np.linalg.matrix_rank(obs, tol=tolerance))
+
+
+def sparse_observability_failures(
+    A, C, s: int, tolerance: float = 1e-10
+) -> List[Tuple[int, ...]]:
+    """Sensor-removal sets of size ``s`` that destroy observability.
+
+    ``(A, C)`` is *s-sparse observable* when the system stays observable
+    after removing **any** ``s`` of the ``p`` sensor rows of ``C``
+    (Chong et al. / Fawzi et al.; the structural condition for secure
+    state reconstruction under sparse sensor attacks).  This returns
+    every removal set that breaks the condition — empty means the
+    system is s-sparse observable; a non-empty list names exactly which
+    sensor losses the reconstruction cannot tolerate.
+    """
+    if s < 0:
+        raise ValueError(f"sparsity s must be >= 0, got {s}")
+    C = np.atleast_2d(np.asarray(C, dtype=float))
+    p = C.shape[0]
+    if s >= p:
+        # Removing every sensor (or more) always kills observability of
+        # a non-trivial state.
+        return [tuple(range(p))]
+    failures: List[Tuple[int, ...]] = []
+    for removed in itertools.combinations(range(p), s):
+        kept = [i for i in range(p) if i not in removed]
+        if not is_observable(A, C[kept, :], tolerance=tolerance):
+            failures.append(removed)
+    return failures
+
+
+def is_sparse_observable(A, C, s: int, tolerance: float = 1e-10) -> bool:
+    """True when ``(A, C)`` stays observable after removing any ``s`` sensors.
+
+    ``is_sparse_observable(A, C, 2 * s)`` is the recovery guarantee of
+    :class:`repro.defense.SecureStateReconstruct`: with at most ``s``
+    attacked sensors and 2s-sparse observability, the attacked-sensor
+    set is identifiable and the state is exactly recoverable.
+    """
+    return not sparse_observability_failures(A, C, s, tolerance=tolerance)

@@ -94,11 +94,16 @@ class ServiceApp:
         backend: Optional[str] = None,
         executor: str = "process",
         runner: Optional[Any] = None,
+        max_retained_jobs: Optional[int] = None,
     ) -> None:
         self.store = store
+        kwargs = (
+            {} if max_retained_jobs is None
+            else {"max_retained_jobs": max_retained_jobs}
+        )
         self.jobs = JobManager(
             store, workers=workers, backend=backend,
-            executor=executor, runner=runner,
+            executor=executor, runner=runner, **kwargs,
         )
         self.started_at = time.time()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -196,6 +201,8 @@ class ServiceApp:
             "store": str(self.store.path),
             "jobs": self.jobs.job_counts(),
             "executed_runs": self.jobs.executed_runs,
+            "evicted_jobs": self.jobs.evicted_jobs,
+            "max_retained_jobs": self.jobs.max_retained_jobs,
             "degraded_reason": self.jobs.degraded_reason,
         }
 
@@ -271,6 +278,7 @@ async def serve_async(
     workers: int = 2,
     backend: Optional[str] = None,
     executor: str = "process",
+    max_retained_jobs: Optional[int] = None,
     out=None,
     err=None,
 ) -> int:
@@ -298,7 +306,13 @@ async def serve_async(
         )
     else:
         store = RunStore(store_path)
-    app = ServiceApp(store, workers=workers, backend=backend, executor=executor)
+    app = ServiceApp(
+        store,
+        workers=workers,
+        backend=backend,
+        executor=executor,
+        max_retained_jobs=max_retained_jobs,
+    )
     server = await app.start(host, port)
     bound = server.sockets[0].getsockname()
     print(f"http://{bound[0]}:{bound[1]}", file=out, flush=True)
@@ -338,6 +352,7 @@ def serve(
     workers: int = 2,
     backend: Optional[str] = None,
     executor: str = "process",
+    max_retained_jobs: Optional[int] = None,
     out=None,
     err=None,
 ) -> int:
@@ -352,6 +367,7 @@ def serve(
                 workers=workers,
                 backend=backend,
                 executor=executor,
+                max_retained_jobs=max_retained_jobs,
                 out=out,
                 err=err,
             )

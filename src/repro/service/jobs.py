@@ -64,8 +64,9 @@ __all__ = ["Job", "JobManager", "Submission", "compute_record"]
 #: ``done`` when the run raised).
 JOB_STATUSES = ("queued", "running", "done", "failed")
 
-#: Completed jobs kept for ``GET /v1/jobs/{id}`` polling before the
-#: oldest are evicted (in-flight jobs are never evicted).
+#: Default number of completed jobs kept for ``GET /v1/jobs/{id}``
+#: polling before the oldest are evicted (in-flight jobs are never
+#: evicted).  Override per manager with ``max_retained_jobs=``.
 MAX_RETAINED_JOBS = 4096
 
 #: An async runner substituted for the default pool execution —
@@ -183,12 +184,19 @@ class JobManager:
         backend: Optional[str] = None,
         executor: str = "process",
         runner: Optional[Runner] = None,
+        max_retained_jobs: int = MAX_RETAINED_JOBS,
     ) -> None:
         if executor not in ("process", "thread"):
             raise ConfigurationError(
                 f"executor must be 'process' or 'thread', got {executor!r}"
             )
+        if not isinstance(max_retained_jobs, int) or max_retained_jobs < 1:
+            raise ConfigurationError(
+                f"max_retained_jobs must be a positive int, got "
+                f"{max_retained_jobs!r}"
+            )
         self.store = store
+        self.max_retained_jobs = max_retained_jobs
         self.workers = validate_workers(workers)
         self.backend = resolve_backend(backend)
         self._executor_kind = executor
@@ -202,6 +210,8 @@ class JobManager:
         #: Engine executions actually dispatched (the number single-
         #: flight and caching exist to minimize).
         self.executed_runs = 0
+        #: Completed job records dropped by bounded retention.
+        self.evicted_jobs = 0
         #: Why process-pool execution degraded to threads (``None``
         #: while the pool is healthy or ``executor="thread"``).
         self.degraded_reason: Optional[str] = None
@@ -291,10 +301,12 @@ class JobManager:
         return counts
 
     def _trim_history(self) -> None:
-        while len(self._jobs) > MAX_RETAINED_JOBS:
+        while len(self._jobs) > self.max_retained_jobs:
             for job_id, job in self._jobs.items():
                 if job.done.is_set():
                     del self._jobs[job_id]
+                    self.evicted_jobs += 1
+                    _telemetry.incr("service.evicted")
                     break
             else:  # everything is in flight; never evict live jobs
                 break

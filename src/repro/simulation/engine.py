@@ -42,6 +42,8 @@ from repro.core.predictor import (
     MeasurementEstimator,
     RadarChannelEstimator,
 )
+from repro.defense.estimator import SecureReconstructionEstimator
+from repro.defense.safety_filter import SafetyFilter
 from repro.radar.sensor import FMCWRadarSensor
 from repro.radar.tracker import AlphaBetaTracker
 from repro.simulation.results import SimulationResult
@@ -88,7 +90,15 @@ def build_defense_pipeline(
         )
 
     estimator: MeasurementEstimator
-    if defense.estimator_kind == "dead_reckoning":
+    if defense.uses_secure_reconstruction:
+        estimator = SecureReconstructionEstimator(
+            sample_period=scenario.sample_period,
+            window=defense.secure_window,
+            sparsity=defense.secure_sparsity,
+            residual_threshold=defense.secure_residual_threshold,
+            margin_gain=defense.margin_gain,
+        )
+    elif defense.estimator_kind == "dead_reckoning":
         estimator = DeadReckoningEstimator(
             leader_velocity_predictor=make_channel(),
             sample_period=scenario.sample_period,
@@ -147,6 +157,21 @@ class CarFollowingSimulation:
             if defended
             else None
         )
+        # Actuation-layer defense (strategy "safety_filter"/"combined"):
+        # clamps the commanded acceleration to the certified-gap CBF
+        # bound, independent of whether detection ever fires.
+        self.safety_filter = (
+            SafetyFilter(
+                sample_period=scenario.sample_period,
+                headway=scenario.defense.filter_headway,
+                minimum_gap=scenario.defense.filter_minimum_gap,
+                gamma=scenario.defense.filter_gamma,
+                leader_accel_bound=scenario.defense.filter_leader_accel_bound,
+                min_acceleration=scenario.acc_params.min_acceleration,
+            )
+            if defended and scenario.defense.uses_safety_filter
+            else None
+        )
         # The undefended stack is a conventional radar tracker that
         # coasts through empty returns (challenge instants look like
         # ordinary missed detections to it).
@@ -190,6 +215,26 @@ class CarFollowingSimulation:
         )
         track = self.tracker.update(detection)
         return track, coasting and track is not None, False
+
+    def _make_accel_filter(
+        self, view: Tuple[float, float], sensed_ego_speed: float
+    ):
+        """Bind this step's view into the safety filter's clamp.
+
+        The filter certifies whatever the controller is about to act on
+        (the defense-visible quantities, including the ego-speed bias
+        stress knob), so its guarantee does not depend on the pipeline
+        having substituted anything.
+        """
+        safety_filter = self.safety_filter
+        gap, relative_velocity = view
+
+        def accel_filter(desired: float) -> float:
+            return safety_filter.clamp(
+                desired, sensed_ego_speed, gap, relative_velocity
+            )
+
+        return accel_filter
 
     def run(self) -> SimulationResult:
         """Execute the full run and return its traces."""
@@ -268,7 +313,11 @@ class CarFollowingSimulation:
             if tele is not None:
                 t2 = perf_counter()
                 estimate_s += t2 - t1
-            step = acc.step(follower.velocity, view)
+            if self.safety_filter is not None and view is not None:
+                accel_filter = self._make_accel_filter(view, sensed_ego_speed)
+            else:
+                accel_filter = None
+            step = acc.step(follower.velocity, view, accel_filter=accel_filter)
 
             result.record(
                 time,

@@ -82,23 +82,46 @@ class MonteCarloSummary:
             o.detection_time for o in self.outcomes if o.detection_time is not None
         ]
 
+    @property
+    def median_detection_time(self) -> Optional[float]:
+        """Median detection instant over detected runs (None when none)."""
+        times = self.detection_times
+        return float(np.median(times)) if times else None
+
+    def as_dict(self) -> dict:
+        """Lossless JSON-compatible serialization of the aggregate.
+
+        Every value is exactly the corresponding property — no rounding,
+        so report JSON, ``sweep run --json`` and the service stats agree
+        bit-for-bit with in-process values.  Rounding, when wanted, is
+        the renderer's job (:func:`repro.analysis.tables.render_table`
+        and the report's markdown table format floats at display time).
+        """
+        return {
+            "runs": self.n_runs,
+            "attacked": self.attacked,
+            "collisions": self.collision_count,
+            "worst_min_gap_m": self.worst_min_gap,
+            "mean_min_gap_m": self.mean_min_gap,
+            "detection_rate": self.detection_rate,
+            "median_detection_time_s": self.median_detection_time,
+        }
+
     def as_row(self, label: str) -> dict:
         """Flat dict for :func:`repro.analysis.tables.render_table`.
 
         Attack-free configurations carry ``detection_rate=None``, which
-        the table renderer prints as ``-``.
+        the table renderer prints as ``-``.  Values are full precision
+        (the renderers format floats); keys keep their historical names.
         """
-        times = self.detection_times
         return {
             "configuration": label,
             "runs": self.n_runs,
             "collisions": self.collision_count,
-            "worst_min_gap_m": round(self.worst_min_gap, 2),
-            "mean_min_gap_m": round(self.mean_min_gap, 2),
+            "worst_min_gap_m": self.worst_min_gap,
+            "mean_min_gap_m": self.mean_min_gap,
             "detection_rate": self.detection_rate,
-            "detection_time_s": (
-                round(float(np.median(times)), 1) if times else None
-            ),
+            "detection_time_s": self.median_detection_time,
         }
 
 

@@ -36,6 +36,7 @@ from repro.vehicle.leader import (
 from repro.vehicle.params import ACCParameters
 
 __all__ = [
+    "DEFENSE_STRATEGIES",
     "DefenseConfig",
     "Scenario",
     "paper_challenge_times",
@@ -55,6 +56,25 @@ PAPER_LEADER_DECELERATION = -0.1082
 PAPER_LEADER_ACCELERATION = 0.012
 #: Switch time for scenario (ii); not stated in the paper.
 FIG3_SWITCH_TIME = 150.0
+
+#: Defense families selectable on :attr:`DefenseConfig.strategy`:
+#:
+#: * ``"rls"`` — the paper's defense: CRA detection + RLS-based
+#:   measurement replacement (estimator per ``estimator_kind``);
+#: * ``"secure_reconstruction"`` — CRA detection + window-based secure
+#:   state reconstruction over the follower-relative LTI model
+#:   (:mod:`repro.defense`) substituting attacked measurements;
+#: * ``"safety_filter"`` — the RLS pipeline plus a control-barrier
+#:   clamp on the commanded acceleration that keeps the gap above the
+#:   safe distance even while detection lags;
+#: * ``"combined"`` — secure reconstruction feeding the safety filter
+#:   (the Tan et al. 2025 secure-safety-filter architecture).
+DEFENSE_STRATEGIES = (
+    "rls",
+    "secure_reconstruction",
+    "safety_filter",
+    "combined",
+)
 
 
 def paper_challenge_times(horizon: float = PAPER_HORIZON) -> Tuple[float, ...]:
@@ -123,6 +143,32 @@ class DefenseConfig:
     rollback_on_detection:
         Roll the estimator back to the last clean-challenge snapshot
         when an alarm is raised (discards unauthenticated samples).
+    strategy:
+        Defense family — one of :data:`DEFENSE_STRATEGIES`.  ``"rls"``
+        (the paper's pipeline, default), ``"secure_reconstruction"``
+        (window-based secure state reconstruction substituting attacked
+        measurements), ``"safety_filter"`` (RLS pipeline + CBF clamp on
+        the commanded acceleration) or ``"combined"`` (reconstruction
+        feeding the filter).  See :mod:`repro.defense` and
+        ``docs/defenses.md``.
+    secure_window:
+        Trusted-sample window length of the secure reconstruction.
+    secure_sparsity:
+        Assumed maximum number of simultaneously attacked sensors
+        ``s``; the recovery guarantee needs 2s-sparse observability.
+    secure_residual_threshold:
+        RMS residual (meters) above which a sensor subset is rejected
+        as inconsistent during reconstruction.
+    filter_headway, filter_minimum_gap:
+        Safe-distance definition of the safety filter's barrier
+        ``h = d - d_min - τ·v_F`` (seconds, meters).
+    filter_gamma:
+        Barrier decay rate ``γ`` in (0, 1]: the filter enforces
+        ``h(k+1) >= (1 - γ)·h(k)`` — smaller is more conservative.
+    filter_leader_accel_bound:
+        Physical bound (m/s²) on how fast the filter's certified gap
+        track may grow between accepted measurements; spoofs that
+        inflate the gap faster than this are clamped.
     """
 
     forgetting: float = 0.95
@@ -137,6 +183,14 @@ class DefenseConfig:
     adaptive_forgetting: bool = True
     min_forgetting: float = 0.5
     rollback_on_detection: bool = True
+    strategy: str = "rls"
+    secure_window: int = 8
+    secure_sparsity: int = 1
+    secure_residual_threshold: float = 1.0
+    filter_headway: float = 1.5
+    filter_minimum_gap: float = 5.0
+    filter_gamma: float = 0.5
+    filter_leader_accel_bound: float = 2.5
 
     def __post_init__(self) -> None:
         if self.basis_kind not in ("polynomial", "ar"):
@@ -148,6 +202,47 @@ class DefenseConfig:
                 "estimator_kind must be 'dead_reckoning' or 'per_channel', "
                 f"got {self.estimator_kind!r}"
             )
+        if self.strategy not in DEFENSE_STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {', '.join(DEFENSE_STRATEGIES)}; "
+                f"got {self.strategy!r}"
+            )
+        if self.secure_window < 2:
+            raise ConfigurationError(
+                f"secure_window must be >= 2, got {self.secure_window}"
+            )
+        if self.secure_sparsity < 0:
+            raise ConfigurationError(
+                f"secure_sparsity must be >= 0, got {self.secure_sparsity}"
+            )
+        if self.secure_residual_threshold <= 0.0:
+            raise ConfigurationError(
+                "secure_residual_threshold must be positive, got "
+                f"{self.secure_residual_threshold}"
+            )
+        if not 0.0 < self.filter_gamma <= 1.0:
+            raise ConfigurationError(
+                f"filter_gamma must lie in (0, 1], got {self.filter_gamma}"
+            )
+        if self.filter_headway < 0.0 or self.filter_minimum_gap < 0.0:
+            raise ConfigurationError(
+                "filter_headway and filter_minimum_gap must be >= 0"
+            )
+        if self.filter_leader_accel_bound < 0.0:
+            raise ConfigurationError(
+                "filter_leader_accel_bound must be >= 0, got "
+                f"{self.filter_leader_accel_bound}"
+            )
+
+    @property
+    def uses_safety_filter(self) -> bool:
+        """True when the strategy inserts the CBF acceleration clamp."""
+        return self.strategy in ("safety_filter", "combined")
+
+    @property
+    def uses_secure_reconstruction(self) -> bool:
+        """True when the strategy estimates via secure reconstruction."""
+        return self.strategy in ("secure_reconstruction", "combined")
 
     def make_basis(self) -> RegressorBasis:
         """Instantiate the configured regressor basis."""

@@ -62,6 +62,7 @@ from repro.vehicle.params import ACCParameters
 
 __all__ = [
     "SPEC_VERSION",
+    "READABLE_SPEC_VERSIONS",
     "scenario_to_dict",
     "scenario_from_dict",
     "save_scenario",
@@ -73,7 +74,20 @@ PathLike = Union[str, Path]
 #: Current revision of the declarative spec format.  Bump when the
 #: dict schema changes shape (not when scenario defaults change);
 #: readers reject unknown versions up front.
-SPEC_VERSION = 1
+#:
+#: Version history:
+#:
+#: * 1 — original format.
+#: * 2 — ``defense`` gained the strategy knobs (``strategy``,
+#:   ``secure_*``, ``filter_*``; see
+#:   :class:`~repro.simulation.scenario.DefenseConfig`).  Version-1
+#:   specs still read (the new fields default), but writers stamp 2 —
+#:   which folds into every run-store fingerprint, so stores populated
+#:   before the defense track never alias against runs after it.
+SPEC_VERSION = 2
+
+#: Spec revisions :func:`scenario_from_dict` accepts.
+READABLE_SPEC_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -231,10 +245,10 @@ def scenario_from_dict(spec: Dict[str, Any]) -> Scenario:
     means version 1 — the format before versioning was introduced).
     """
     version = spec.get("spec_version", SPEC_VERSION)
-    if version != SPEC_VERSION:
+    if version not in READABLE_SPEC_VERSIONS:
         raise ConfigurationError(
             f"unsupported spec_version {version!r}; this library reads "
-            f"version {SPEC_VERSION}"
+            f"versions {READABLE_SPEC_VERSIONS}"
         )
     if "leader_profile" not in spec:
         raise ConfigurationError("a scenario spec requires 'leader_profile'")

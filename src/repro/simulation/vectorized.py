@@ -96,6 +96,11 @@ def vectorization_blocker(spec) -> Optional[str]:
         return f"follower policy {scenario.follower_policy!r} is not vectorized"
     if scenario.adaptive_challenge_period is not None:
         return "adaptive challenge scheduling is stateful per run"
+    if spec.defended and scenario.defense.strategy != "rls":
+        return (
+            f"defense strategy {scenario.defense.strategy!r} "
+            "is stateful per run"
+        )
     if spec.defended and (
         scenario.defense.basis_kind != "polynomial"
         or scenario.defense.basis_order != 1

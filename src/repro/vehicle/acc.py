@@ -11,7 +11,7 @@ paper's Figure 1 names (``a_des``, ``a_pedal``, ``P_brake``, mode,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.vehicle.lower_controller import ActuatorCommand, LowerLevelController
 from repro.vehicle.params import ACCParameters
@@ -72,6 +72,7 @@ class ACCSystem:
         self,
         follower_speed: float,
         measurement: Optional[Tuple[float, float]],
+        accel_filter: Optional[Callable[[float], float]] = None,
     ) -> ACCStepResult:
         """Run one control period.
 
@@ -83,9 +84,19 @@ class ACCSystem:
             Safe ``(distance, relative_velocity)`` from the defense
             pipeline (or raw sensor data when undefended); None when no
             target is visible.
+        accel_filter:
+            Optional safety layer applied to the upper level's ``a_des``
+            before it reaches the actuators (e.g.
+            :meth:`repro.defense.safety_filter.SafetyFilter.clamp`
+            partially applied).  The recorded ``desired_acceleration``
+            stays the controller's wish; the plant tracks the filtered
+            command.
         """
         upper_output = self.upper.compute(follower_speed, measurement)
-        actual, actuation = self.lower.step(upper_output.desired_acceleration)
+        command = upper_output.desired_acceleration
+        if accel_filter is not None:
+            command = accel_filter(command)
+        actual, actuation = self.lower.step(command)
         return ACCStepResult(
             actual_acceleration=actual,
             upper=upper_output,

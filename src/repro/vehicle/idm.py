@@ -157,8 +157,13 @@ class IDMFollowerController:
         """The plant's current acceleration."""
         return self.lower.actual_acceleration
 
-    def step(self, follower_speed: float, measurement):
-        """One control period; mirrors :meth:`ACCSystem.step`."""
+    def step(self, follower_speed: float, measurement, accel_filter=None):
+        """One control period; mirrors :meth:`ACCSystem.step`.
+
+        ``accel_filter``, when given, clamps the saturated IDM command
+        before the lower-level loop — same contract as the ACC stack's
+        hook, so the safety filter is policy-agnostic.
+        """
         from repro.vehicle.acc import ACCStepResult
         from repro.vehicle.upper_controller import ControlMode, UpperLevelOutput
 
@@ -193,7 +198,8 @@ class IDMFollowerController:
             desired_velocity=follower_speed
             + saturated * self.acc_params.sample_period,
         )
-        actual, actuation = self.lower.step(saturated)
+        command = saturated if accel_filter is None else accel_filter(saturated)
+        actual, actuation = self.lower.step(command)
         return ACCStepResult(
             actual_acceleration=actual, upper=upper, actuation=actuation
         )

@@ -57,6 +57,48 @@ class TestPRBSGenerator:
         with pytest.raises(ValueError):
             PRBSGenerator().bernoulli(1.5)
 
+    def test_full_period_words_cover_every_nonzero_value(self):
+        # Non-overlapping 16-bit draws over one full period: because
+        # gcd(16, 2^16 - 1) = 1, the 2^16 - 1 draws land on every
+        # distinct window offset, and an m-sequence's 16-bit windows
+        # are exactly the nonzero 16-bit values, each once.  This is
+        # the distribution the endpoint-corrected bernoulli() relies on.
+        gen = PRBSGenerator(seed=1)
+        period = (1 << 16) - 1
+        words = {gen.next_word(16) for _ in range(period)}
+        assert words == set(range(1, 1 << 16))
+
+    def test_bernoulli_endpoints_exact_over_full_period(self):
+        # Regression for the endpoint bias: the LFSR word is uniform on
+        # [1, 2^16 - 1] (never 0), so the naive `word < p * 2^16`
+        # threshold made any p < 2 / 2^16 unreachable.  Post-fix the
+        # per-period fire count is exactly floor(p * (2^16 - 1)):
+        # p = 0 never fires, p = 1 always fires, and the smallest
+        # representable rate p = 1 / (2^16 - 1) fires exactly once —
+        # the case that could NEVER fire before the fix.
+        period = (1 << 16) - 1
+        never = PRBSGenerator(seed=1)
+        always = PRBSGenerator(seed=1)
+        tiny = PRBSGenerator(seed=1)
+        half = PRBSGenerator(seed=1)
+        counts = [0, 0, 0, 0]
+        for _ in range(period):
+            counts[0] += never.bernoulli(0.0)
+            counts[1] += always.bernoulli(1.0)
+            counts[2] += tiny.bernoulli(1.0 / period)
+            counts[3] += half.bernoulli(0.5)
+        assert counts[0] == 0
+        assert counts[1] == period
+        assert counts[2] == 1
+        assert counts[3] == period // 2
+
+    def test_bernoulli_short_draws_unchanged(self):
+        # Sub-register draws can legitimately produce zero words and
+        # keep the plain threshold; the empirical rate stays sane.
+        gen = PRBSGenerator(seed=0xACE1)
+        hits = sum(gen.bernoulli(0.25, resolution_bits=8) for _ in range(4000))
+        assert 800 < hits < 1200
+
 
 class TestChallengeScheduleExplicit:
     def test_paper_instants(self):

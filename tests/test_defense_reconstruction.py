@@ -1,0 +1,299 @@
+"""Secure state reconstruction (repro.defense).
+
+Covers the solver's core contract — exact recovery of the state from
+``p - s`` honest sensors when the 2s-sparse observability guarantee
+holds, and honest reporting when it does not — plus the pipeline-facing
+sliding-window estimator built on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defense import (
+    SecureReconstructionEstimator,
+    SecureStateReconstruct,
+    SSProblem,
+    follower_relative_system,
+)
+from repro.exceptions import ConfigurationError, EstimatorNotTrainedError
+from repro.lti.observability import is_sparse_observable
+from repro.types import RadarMeasurement
+
+# A double integrator observed by three redundant position sensors plus
+# one velocity sensor: removing ANY two sensors leaves an observable
+# pair, so (A, C4) is 2-sparse observable and the s=1 reconstruction
+# guarantee holds.
+A2 = np.array([[1.0, 1.0], [0.0, 1.0]])
+B2 = np.array([[0.5], [1.0]])
+C4 = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+
+def simulate(A, B, C, x0, us, steps):
+    """Roll the model and return the clean measurement window."""
+    x = np.asarray(x0, float)
+    ys = [C @ x]
+    for k in range(steps - 1):
+        u = us[k] if us is not None else np.zeros(B.shape[1])
+        x = A @ x + B @ u
+        ys.append(C @ x)
+    return np.array(ys), x
+
+
+class TestSSProblemValidation:
+    def test_rejects_nonsquare_A(self):
+        with pytest.raises(ConfigurationError, match="square"):
+            SSProblem(np.ones((2, 3)), None, C4, np.ones((3, 4)))
+
+    def test_rejects_mismatched_C(self):
+        with pytest.raises(ConfigurationError, match="columns"):
+            SSProblem(A2, None, np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_rejects_mismatched_ys(self):
+        with pytest.raises(ConfigurationError, match="one column per sensor"):
+            SSProblem(A2, None, C4, np.ones((3, 2)))
+
+    def test_rejects_short_window(self):
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            SSProblem(A2, None, C4, np.ones((1, 4)))
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ConfigurationError, match="s must be >= 0"):
+            SSProblem(A2, None, C4, np.ones((3, 4)), s=-1)
+        with pytest.raises(ConfigurationError, match="honest sensor"):
+            SSProblem(A2, None, C4, np.ones((3, 4)), s=4)
+
+    def test_rejects_input_shape_mismatch(self):
+        with pytest.raises(ConfigurationError, match="one input per transition"):
+            SSProblem(A2, B2, C4, np.ones((3, 4)), us=np.ones((3, 1)))
+
+    def test_rejects_us_without_B(self):
+        with pytest.raises(ConfigurationError, match="without a B"):
+            SSProblem(A2, None, C4, np.ones((3, 4)), us=np.ones((2, 1)))
+
+    def test_rejects_bad_dts(self):
+        with pytest.raises(ConfigurationError, match="one duration"):
+            SSProblem(A2, None, C4, np.ones((3, 4)), dts=[1.0])
+        with pytest.raises(ConfigurationError, match="positive"):
+            SSProblem(A2, None, C4, np.ones((3, 4)), dts=[1.0, -1.0])
+
+    def test_dimensions(self):
+        problem = SSProblem(A2, B2, C4, np.ones((5, 4)), us=np.ones((4, 1)))
+        assert (problem.n, problem.p, problem.io_length) == (2, 4, 5)
+
+
+class TestExactRecovery:
+    """The headline guarantee: <= s attacked + 2s-sparse observable
+    => the true state is recovered exactly (noiseless window)."""
+
+    def test_guarantee_condition_holds(self):
+        assert is_sparse_observable(A2, C4, 2)
+
+    @pytest.mark.parametrize("attacked_sensor", [0, 1, 2, 3])
+    def test_recovers_state_under_single_sensor_attack(self, attacked_sensor):
+        x0 = np.array([12.0, -3.0])
+        us = 0.3 * np.ones((5, 1))
+        ys, x_true = simulate(A2, B2, C4, x0, us, 6)
+        ys[:, attacked_sensor] += 40.0  # bias injection on one sensor
+
+        result = SecureStateReconstruct(
+            SSProblem(A2, B2, C4, ys, us=us, s=1),
+            residual_threshold=1e-6,
+        ).solve()
+
+        assert result.guaranteed
+        best = result.best
+        assert best is not None
+        assert attacked_sensor in best.attacked
+        np.testing.assert_allclose(best.x0, x0, atol=1e-8)
+        np.testing.assert_allclose(best.x_end, x_true, atol=1e-8)
+
+    def test_every_consistent_candidate_agrees(self):
+        # Uniqueness half of the guarantee: no consistent candidate
+        # disagrees with the true state.
+        x0 = np.array([5.0, 1.0])
+        ys, _ = simulate(A2, B2, C4, x0, None, 6)
+        ys[:, 2] -= 25.0
+        result = SecureStateReconstruct(
+            SSProblem(A2, None, C4, ys, s=1)
+        ).solve()
+        for candidate in result.consistent:
+            np.testing.assert_allclose(candidate.x0, x0, atol=1e-8)
+
+    def test_clean_window_all_subsets_consistent(self):
+        ys, _ = simulate(A2, B2, C4, np.array([7.0, 0.5]), None, 6)
+        result = SecureStateReconstruct(
+            SSProblem(A2, None, C4, ys, s=1)
+        ).solve()
+        assert len(result.consistent) == len(result.candidates) == 4
+
+    def test_covariance_reported_for_observable_subsets(self):
+        ys, _ = simulate(A2, B2, C4, np.array([7.0, 0.5]), None, 6)
+        result = SecureStateReconstruct(
+            SSProblem(A2, None, C4, ys, s=1)
+        ).solve()
+        cov = result.best.x_end_covariance
+        assert cov is not None and cov.shape == (2, 2)
+        assert np.all(np.linalg.eigvalsh(cov) > 0.0)
+
+
+class TestGuaranteeFailureReporting:
+    """When 2s-sparse observability fails the solver must say so."""
+
+    def test_radar_plant_is_not_2sparse_observable(self):
+        # The car-following radar has p=2 channels; the velocity-only
+        # subset cannot observe the gap, so s=1 recovery is never
+        # structurally guaranteed for this plant.
+        A, _B, C = follower_relative_system(1.0)
+        assert not is_sparse_observable(A, C, 2)
+
+    def test_solver_reports_unobservable_subsets(self):
+        A, B, C = follower_relative_system(1.0)
+        ys, _ = simulate(A, B, C, np.array([50.0, -1.0, -0.1]), None, 6)
+        result = SecureStateReconstruct(
+            SSProblem(A, B, C, ys, s=1)
+        ).solve()
+        assert not result.guaranteed
+        # The velocity-only subset (sensor index 1) is the ambiguous one.
+        assert (1,) in result.unobservable_subsets
+
+    def test_unobservable_candidates_never_consistent(self):
+        A, B, C = follower_relative_system(1.0)
+        ys, _ = simulate(A, B, C, np.array([50.0, -1.0, -0.1]), None, 6)
+        result = SecureStateReconstruct(
+            SSProblem(A, B, C, ys, s=1)
+        ).solve()
+        for candidate in result.consistent:
+            assert candidate.observable
+
+
+class TestNonUniformWindows:
+    """dts + a transition callable discretize each interval exactly."""
+
+    def test_exact_recovery_with_holes(self):
+        # Continuous double integrator sampled at irregular instants —
+        # the trusted-sample stream with challenge holes.
+        def transition(dt):
+            A = np.array([[1.0, dt], [0.0, 1.0]])
+            B = np.array([[0.5 * dt * dt], [dt]])
+            return A, B
+
+        times = np.array([0.0, 1.0, 2.0, 4.0, 5.0, 7.0])
+        x0 = np.array([20.0, -2.0])
+        accel = -0.5
+        # Closed form: pos = p0 + v0 t + a t^2 / 2.
+        ys = np.column_stack(
+            [
+                x0[0] + x0[1] * times + 0.5 * accel * times**2,
+                np.repeat(x0[1] + accel * times, 1),
+            ]
+        )
+        dts = np.diff(times)
+        us = accel * np.ones((len(dts), 1))
+        A, B = transition(1.0)
+        C = np.eye(2)
+
+        solver = SecureStateReconstruct(
+            SSProblem(A, B, C, ys, us=us, s=0, dts=dts),
+            transition=transition,
+        )
+        best = solver.solve().best
+        assert best is not None
+        np.testing.assert_allclose(best.x0, x0, atol=1e-8)
+
+        # Without the per-interval transition the uniform-spacing model
+        # cannot explain the same window.
+        uniform = SecureStateReconstruct(
+            SSProblem(A, B, C, ys, us=us, s=0)
+        ).solve()
+        assert uniform.best is None
+
+
+class TestSecureReconstructionEstimator:
+    def measurement(self, time, gap, rel_v):
+        return RadarMeasurement(
+            time=time, distance=gap, relative_velocity=rel_v
+        )
+
+    def feed_constant_decel(self, estimator, steps, gap0=60.0, a_L=-0.2):
+        """Constant-deceleration leader, constant-speed follower."""
+        v_f = 20.0
+        for k in range(steps):
+            t = float(k)
+            rel_v = a_L * t
+            gap = gap0 + 0.5 * a_L * t * t
+            estimator.observe(self.measurement(t, gap, rel_v), v_f)
+        return v_f
+
+    def test_untrained_raises(self):
+        estimator = SecureReconstructionEstimator()
+        assert not estimator.trained
+        with pytest.raises(EstimatorNotTrainedError):
+            estimator.forecast(1.0, 20.0)
+
+    def test_requires_follower_speed(self):
+        estimator = SecureReconstructionEstimator()
+        with pytest.raises(ValueError, match="follower speed"):
+            estimator.observe(self.measurement(0.0, 50.0, 0.0))
+        self.feed_constant_decel(estimator, 4)
+        with pytest.raises(ValueError, match="follower speed"):
+            estimator.forecast(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SecureReconstructionEstimator(window=1)
+        with pytest.raises(ConfigurationError):
+            SecureReconstructionEstimator(sparsity=2)
+        with pytest.raises(ConfigurationError):
+            SecureReconstructionEstimator(residual_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            SecureReconstructionEstimator(margin_gain=-1.0)
+
+    def test_forecast_extrapolates_braking_leader(self):
+        # The 3-state model's point: a constantly braking leader keeps
+        # braking in the forecast, not coasting.  Margin off so the
+        # comparison is against the raw model rollout.
+        estimator = SecureReconstructionEstimator(margin_gain=0.0)
+        v_f = self.feed_constant_decel(estimator, 8, gap0=80.0, a_L=-0.3)
+        horizon = 10.0
+        t_end = 7.0 + horizon
+        gap, rel_v = estimator.forecast(t_end, v_f)
+        true_gap = 80.0 + 0.5 * -0.3 * t_end * t_end
+        true_rel = -0.3 * t_end
+        assert gap == pytest.approx(true_gap, abs=1e-6)
+        assert rel_v == pytest.approx(true_rel, abs=1e-6)
+
+    def test_margin_makes_forecasts_conservative(self):
+        noisy = SecureReconstructionEstimator(margin_gain=2.0)
+        exact = SecureReconstructionEstimator(margin_gain=0.0)
+        for estimator in (noisy, exact):
+            v_f = self.feed_constant_decel(estimator, 8)
+        assert noisy.margin() > 0.0
+        gap_margin, _ = noisy.forecast(20.0, v_f)
+        gap_raw, _ = exact.forecast(20.0, v_f)
+        assert gap_margin < gap_raw
+        # The margin grows with the forecast horizon (uncertainty in the
+        # fitted Delta-v / a_L integrates into gap error).
+        margin_now = noisy.margin()
+        noisy.forecast(40.0, v_f)
+        assert noisy.margin() > margin_now
+
+    def test_guarantee_reported_honestly(self):
+        estimator = SecureReconstructionEstimator()
+        assert estimator.guarantee_holds is None
+        self.feed_constant_decel(estimator, 4)
+        assert estimator.guarantee_holds is False
+
+    def test_window_is_bounded(self):
+        estimator = SecureReconstructionEstimator(window=4)
+        self.feed_constant_decel(estimator, 10)
+        assert len(estimator._samples) == 4
+
+    def test_snapshot_restore_roundtrip(self):
+        estimator = SecureReconstructionEstimator()
+        v_f = self.feed_constant_decel(estimator, 6)
+        snapshot = estimator.snapshot()
+        gap_before, rel_before = estimator.forecast(12.0, v_f)
+        # Corrupt with a wild observation, then roll back.
+        estimator.observe(self.measurement(13.0, 500.0, 30.0), v_f)
+        estimator.restore(snapshot)
+        assert estimator.forecast(12.0, v_f) == (gap_before, rel_before)

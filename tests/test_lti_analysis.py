@@ -12,7 +12,11 @@ from repro.lti import (
     observability_matrix,
     zoh_discretize,
 )
-from repro.lti.observability import unobservable_subspace_dimension
+from repro.lti.observability import (
+    is_sparse_observable,
+    sparse_observability_failures,
+    unobservable_subspace_dimension,
+)
 
 
 class TestObservability:
@@ -43,6 +47,57 @@ class TestObservability:
             observability_matrix([[1.0, 0.0]], [[1.0]])
         with pytest.raises(ValueError):
             observability_matrix(np.eye(2), [[1.0]])
+
+
+class TestSparseObservability:
+    """s-sparse observability — the secure-reconstruction guarantee."""
+
+    A = np.array([[1.0, 1.0], [0.0, 1.0]])  # double integrator
+    #: Three redundant position sensors + one velocity sensor.
+    C4 = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+    def test_redundant_sensors_2sparse_observable(self):
+        assert is_sparse_observable(self.A, self.C4, 2)
+        assert sparse_observability_failures(self.A, self.C4, 2) == []
+
+    def test_s_zero_degenerates_to_plain_observability(self):
+        C = np.array([[1.0, 0.0]])
+        assert is_sparse_observable(self.A, C, 0)
+        C_vel = np.array([[0.0, 1.0]])
+        assert not is_sparse_observable(self.A, C_vel, 0)
+
+    def test_failures_name_the_offending_removals(self):
+        # Two sensors, position + velocity: removing the position
+        # sensor (index 0) leaves velocity-only, which cannot observe
+        # position; removing velocity keeps observability.
+        C = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert sparse_observability_failures(self.A, C, 1) == [(0,)]
+        assert not is_sparse_observable(self.A, C, 1)
+
+    def test_removing_all_sensors_always_fails(self):
+        C = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert sparse_observability_failures(self.A, C, 2) == [(0, 1)]
+        assert sparse_observability_failures(self.A, C, 5) == [(0, 1)]
+
+    def test_rank_deficient_C_never_sparse_observable(self):
+        # A zero row contributes nothing; removing the informative row
+        # is fatal.
+        C = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert not is_sparse_observable(self.A, C, 1)
+
+    def test_rejects_negative_sparsity(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            sparse_observability_failures(self.A, self.C4, -1)
+
+    def test_tolerance_controls_rank_decision(self):
+        # A nearly-unobservable pair: the velocity row sees position
+        # only through an epsilon coupling.  A loose tolerance treats
+        # it as rank-deficient, the default tolerance as observable.
+        eps = 1e-8
+        C = np.array([[eps, 0.0], [0.0, 1.0]])
+        assert is_observable(self.A, C, tolerance=1e-12)
+        assert not is_observable(self.A, C, tolerance=1e-3)
+        assert not is_sparse_observable(self.A, C, 0, tolerance=1e-3)
 
 
 class TestControllability:

@@ -57,3 +57,44 @@ class TestRunMonteCarlo:
     def test_requires_seeds(self):
         with pytest.raises(ValueError):
             run_monte_carlo(fig2_scenario("dos"), seeds=[])
+
+
+class TestLosslessSerialization:
+    """Regression: the dict/JSON paths used to round values (min gaps
+    to 2 decimals, detection times to 1), so JSON artifacts disagreed
+    with in-process values.  Both paths are now exact."""
+
+    def test_as_dict_matches_properties_exactly(self, defended_summary):
+        d = defended_summary.as_dict()
+        assert d["runs"] == defended_summary.n_runs
+        assert d["attacked"] is defended_summary.attacked
+        assert d["collisions"] == defended_summary.collision_count
+        # Float equality on purpose: no rounding anywhere.
+        assert d["worst_min_gap_m"] == defended_summary.worst_min_gap
+        assert d["mean_min_gap_m"] == defended_summary.mean_min_gap
+        assert d["detection_rate"] == defended_summary.detection_rate
+        assert (
+            d["median_detection_time_s"]
+            == defended_summary.median_detection_time
+        )
+
+    def test_as_row_is_full_precision(self, defended_summary):
+        row = defended_summary.as_row("x")
+        assert row["worst_min_gap_m"] == defended_summary.worst_min_gap
+        assert row["mean_min_gap_m"] == defended_summary.mean_min_gap
+        assert (
+            row["detection_time_s"] == defended_summary.median_detection_time
+        )
+
+    def test_json_round_trip_bit_exact(self, defended_summary):
+        import json
+
+        d = defended_summary.as_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_median_detection_time_none_without_detections(self):
+        summary = run_monte_carlo(
+            fig2_scenario("dos"), seeds=range(2), attack_enabled=False
+        )
+        assert summary.median_detection_time is None
+        assert summary.as_dict()["median_detection_time_s"] is None

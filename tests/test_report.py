@@ -25,10 +25,33 @@ class TestBuildReport:
         assert "| yes |" in report
         assert "| no |" in report
 
-    def test_is_valid_markdown_table(self, report):
-        table_lines = [l for l in report.splitlines() if l.startswith("|")]
-        widths = {line.count("|") for line in table_lines}
-        assert len(widths) == 1  # consistent column count
+    def test_is_valid_markdown_tables(self, report):
+        # The report holds several tables (panels, defense comparison);
+        # within each contiguous table block every row must have the
+        # same column count.
+        blocks, current = [], []
+        for line in report.splitlines():
+            if line.startswith("|"):
+                current.append(line)
+            elif current:
+                blocks.append(current)
+                current = []
+        if current:
+            blocks.append(current)
+        assert len(blocks) >= 2  # panel table + defense comparison
+        for block in blocks:
+            widths = {line.count("|") for line in block}
+            assert len(widths) == 1, block[0]
+
+    def test_defense_comparison_section(self, report):
+        assert "## Defense comparison" in report
+        for label in (
+            "undefended",
+            "secure_reconstruction",
+            "safety_filter (detection off)",
+            "combined",
+        ):
+            assert label in report
 
     def test_seed_section_optional(self, report):
         assert "Seed robustness" not in report

@@ -1,0 +1,180 @@
+"""The control-barrier safety filter (repro.defense.safety_filter).
+
+Unit-level: the CBF clamp math, the one-sided certified-gap track and
+its jump rejection.  Engine-level: the actuation-layer guarantee — with
+the challenge schedule emptied so detection never fires, the filter
+alone keeps the DoS'd follower clear of the barrier's standstill
+margin — and exact transparency on clean data.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.defense import SafetyFilter
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_period": 0.0},
+            {"headway": -1.0},
+            {"minimum_gap": -1.0},
+            {"gamma": 0.0},
+            {"gamma": 1.5},
+            {"leader_accel_bound": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SafetyFilter(**kwargs)
+
+
+class TestClampMath:
+    def make(self, **kwargs):
+        kwargs.setdefault("sample_period", 1.0)
+        kwargs.setdefault("headway", 1.5)
+        kwargs.setdefault("minimum_gap", 5.0)
+        kwargs.setdefault("gamma", 0.5)
+        return SafetyFilter(**kwargs)
+
+    def test_barrier_none_before_first_sample(self):
+        f = self.make()
+        assert f.barrier(10.0) is None
+        assert f.certified_gap is None
+
+    def test_bound_formula(self):
+        f = self.make()
+        v_f, gap, rel_v = 10.0, 40.0, -2.0
+        out = f.clamp(5.0, v_f, gap, rel_v)
+        h = gap - 5.0 - 1.5 * v_f  # = 20
+        expected_bound = (0.5 * h + 1.0 * rel_v) / (1.5 * 1.0 + 0.5)
+        assert f.last_bound == pytest.approx(expected_bound)
+        assert out == pytest.approx(expected_bound)  # 5.0 was above it
+        assert f.interventions == 1
+
+    def test_transparent_when_desired_is_admissible(self):
+        f = self.make()
+        out = f.clamp(0.2, 10.0, 80.0, 0.0)
+        assert out == 0.2
+        assert f.interventions == 0
+
+    def test_actuator_floor_respected(self):
+        f = self.make()
+        # Deep barrier violation: bound far below the actuator floor.
+        out = f.clamp(0.0, 30.0, 6.0, -10.0)
+        assert out == f.min_acceleration
+
+    def test_cbf_decrease_condition(self):
+        # h(k+1) >= (1 - gamma) h(k) under the one-step kinematics when
+        # the command sits exactly on the bound.
+        f = self.make()
+        v_f, gap, rel_v = 15.0, 60.0, -3.0
+        u = f.clamp(99.0, v_f, gap, rel_v)  # forced onto the bound
+        h0 = f.barrier(v_f)
+        T = f.sample_period
+        gap1 = gap + T * rel_v - 0.5 * T * T * u
+        v_f1 = v_f + T * u
+        h1 = gap1 - f.minimum_gap - f.headway * v_f1
+        assert h1 >= (1.0 - f.gamma) * h0 - 1e-9
+
+
+class TestCertifiedTrack:
+    def make(self):
+        return SafetyFilter(
+            sample_period=1.0, leader_accel_bound=2.0, headway=1.0
+        )
+
+    def test_clean_track_follows_measurements(self):
+        f = self.make()
+        v_f = 10.0
+        # Leader pulling away within the physical bound: the track
+        # re-anchors to the sensor every step.
+        for k, gap in enumerate([30.0, 30.5, 31.0, 31.5]):
+            f.clamp(0.0, v_f, gap, 0.5)
+        assert f.certified_gap == 31.5
+        assert f.rejected_jumps == 0
+
+    def test_jump_spoof_rejected(self):
+        f = self.make()
+        v_f = 10.0
+        f.clamp(0.0, v_f, 30.0, 0.0)
+        # +6 m delay-attack style jump: physically impossible in one
+        # step, so the track ignores it (cap = T*max(0, rel_v) +
+        # a_L*T^2/2 = 1.0 above the current 30 m).
+        f.clamp(0.0, v_f, 36.0, 0.0)
+        assert f.rejected_jumps == 1
+        assert f.certified_gap == pytest.approx(31.0)
+
+    def test_track_falls_freely(self):
+        f = self.make()
+        f.clamp(0.0, 10.0, 30.0, 0.0)
+        f.clamp(0.0, 10.0, 12.0, -5.0)
+        # Pessimism is safe: a collapse is accepted at once.
+        assert f.certified_gap == 12.0
+        assert f.rejected_jumps == 0
+
+    def test_leader_speed_rise_rate_limited(self):
+        f = self.make()
+        v_f = 10.0
+        f.clamp(0.0, v_f, 40.0, 0.0)  # leader speed certified at 10
+        # Spoofed rel_v implies the leader gained 20 m/s in one second;
+        # the certified leader speed may rise at most a_L*T = 2.
+        f.clamp(0.0, v_f, 40.0, 20.0)
+        assert f._certified_leader_speed == pytest.approx(12.0)
+
+    def test_gap_never_negative(self):
+        f = self.make()
+        f.clamp(0.0, 10.0, -3.0, 0.0)
+        assert f.certified_gap == 0.0
+
+
+class TestEngineIntegration:
+    def filter_scenario(self, factory, attack, **overrides):
+        scenario = factory(attack)
+        return scenario.with_overrides(
+            defense=replace(scenario.defense, strategy="safety_filter"),
+            **overrides,
+        )
+
+    @pytest.mark.parametrize("factory", [repro.fig2_scenario, repro.fig3_scenario])
+    def test_dos_safe_without_detection(self, factory):
+        # The actuation-layer guarantee: challenge schedule emptied, so
+        # the CRA never fires, the attack is never detected, and the
+        # spoofed measurements go straight to the controller — yet the
+        # clamp keeps the follower clear of the standstill margin.
+        scenario = self.filter_scenario(factory, "dos", challenge_times=())
+        result = repro.run(scenario, attack_enabled=True, defended=True)
+        assert not result.detection_times
+        assert not result.collided
+        assert result.min_gap() >= scenario.defense.filter_minimum_gap
+
+    def test_clean_run_bit_equal_on_cruise(self):
+        # On attack-free data with healthy margins the filter is exactly
+        # transparent: every trace of the filtered run is bit-identical
+        # to the unfiltered defended run.
+        base = repro.fig3_scenario("dos")
+        filtered = self.filter_scenario(repro.fig3_scenario, "dos")
+        r_base = repro.run(base, attack_enabled=False, defended=True)
+        r_filt = repro.run(filtered, attack_enabled=False, defended=True)
+        for name in ("true_distance", "safe_distance", "follower_velocity"):
+            np.testing.assert_array_equal(
+                r_base.array(name), r_filt.array(name)
+            )
+
+    def test_filter_rescues_undefended_collision(self):
+        # fig2a undefended collides; the same raw pipeline with only the
+        # clamp added does not.
+        scenario = self.filter_scenario(
+            repro.fig2_scenario, "dos", challenge_times=()
+        )
+        undefended = repro.run(
+            repro.fig2_scenario("dos"), attack_enabled=True, defended=False
+        )
+        assert undefended.collided
+        defended = repro.run(scenario, attack_enabled=True, defended=True)
+        assert not defended.collided

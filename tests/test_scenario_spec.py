@@ -176,7 +176,8 @@ class TestSpecVersion:
 
     def test_serializer_stamps_current_version(self):
         spec = scenario_to_dict(fig2_scenario("dos"))
-        assert spec["spec_version"] == SPEC_VERSION == 1
+        # v2 added the defense block; v1 specs stay readable.
+        assert spec["spec_version"] == SPEC_VERSION == 2
 
     def test_current_version_round_trips(self):
         spec = scenario_to_dict(fig2_scenario("dos"))
@@ -189,7 +190,7 @@ class TestSpecVersion:
         scenario = scenario_from_dict(spec)
         assert scenario.name == fig2_scenario("dos").name
 
-    @pytest.mark.parametrize("bad", [0, 2, 99, "1", None])
+    @pytest.mark.parametrize("bad", [0, 3, 99, "1", None])
     def test_unknown_version_rejected(self, bad):
         spec = scenario_to_dict(fig2_scenario("dos"))
         spec["spec_version"] = bad

@@ -501,3 +501,112 @@ class TestJobManager:
         assert args.port == 0
         assert args.workers == 3
         assert args.backend == "auto"
+        assert args.max_jobs is None  # default: library MAX_RETAINED_JOBS
+
+
+class TestBoundedRetention:
+    """Regression: the jobs table grew without bound per process (the
+    module cap existed but was not configurable and eviction was
+    silent).  Retention is now a constructor/CLI knob with telemetry."""
+
+    def distinct_spec(self, horizon):
+        scenario = repro.fig2_scenario("dos", horizon=float(horizon))
+        return scenario_to_dict(scenario)
+
+    def test_rejects_bad_limit(self, tmp_path):
+        store = RunStore(tmp_path / "s.sqlite")
+        try:
+            for bad in (0, -1, "many"):
+                with pytest.raises(ConfigurationError, match="max_retained"):
+                    JobManager(store, max_retained_jobs=bad)
+        finally:
+            store.close()
+
+    def test_completed_jobs_evicted_beyond_limit(self, tmp_path):
+        runner = StubRunner()
+
+        async def scenario():
+            app = await start_app(
+                tmp_path, runner=runner, max_retained_jobs=2
+            )
+            try:
+                submitted = []
+                for horizon in (11, 12, 13, 14):
+                    submission = app.jobs.submit(self.distinct_spec(horizon))
+                    job = submission.job
+                    assert job is not None
+                    await asyncio.wait_for(job.done.wait(), TIMEOUT)
+                    submitted.append(job.job_id)
+                # One more submission triggers the trim of the oldest
+                # completed records down to the limit.
+                last = app.jobs.submit(self.distinct_spec(15)).job
+                await asyncio.wait_for(last.done.wait(), TIMEOUT)
+                evicted = [
+                    job_id
+                    for job_id in submitted
+                    if app.jobs.get_job(job_id) is None
+                ]
+                return app.jobs, evicted, last.job_id
+            finally:
+                await stop_app(app)
+
+        with telemetry.session() as tele:
+            jobs, evicted, last_id = run_async(scenario())
+        assert len(jobs._jobs) == 2
+        assert jobs.get_job(last_id) is not None  # newest survives
+        # 5 submissions through a 2-slot table: the 3 oldest completed
+        # records are gone, and the counter/telemetry agree.
+        assert len(evicted) == 3
+        assert jobs.evicted_jobs == 3
+        assert tele.counters["service.evicted"] == 3
+
+    def test_inflight_jobs_never_evicted(self, tmp_path):
+        runner = StubRunner(gated=True)
+
+        async def scenario():
+            app = await start_app(
+                tmp_path, runner=runner, max_retained_jobs=1
+            )
+            try:
+                jobs = [
+                    app.jobs.submit(
+                        self.distinct_spec(h), cache="off"
+                    ).job
+                    for h in (11, 12, 13)
+                ]
+                # All three are in flight and over the limit, but live
+                # jobs must not be dropped.
+                assert all(
+                    app.jobs.get_job(job.job_id) is not None for job in jobs
+                )
+                assert app.jobs.evicted_jobs == 0
+                runner.release()
+                for job in jobs:
+                    await asyncio.wait_for(job.done.wait(), TIMEOUT)
+                return True
+            finally:
+                await stop_app(app)
+
+        assert run_async(scenario())
+
+    def test_healthz_reports_retention(self, tmp_path):
+        async def scenario():
+            app = await start_app(tmp_path, max_retained_jobs=7)
+            try:
+                status, health = await fetch_json(
+                    "127.0.0.1", app.port, "GET", "/healthz"
+                )
+                assert status == 200
+                return health
+            finally:
+                await stop_app(app)
+
+        health = run_async(scenario())
+        assert health["max_retained_jobs"] == 7
+        assert health["evicted_jobs"] == 0
+
+    def test_serve_parser_accepts_max_jobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--max-jobs", "64"])
+        assert args.max_jobs == 64
