@@ -102,6 +102,7 @@ def compare_defenses(
             backend=backend,
         )
         detection_times = result.detection_times
+        stats = result.defense_stats or {}
         rows.append(
             {
                 "defense": label,
@@ -111,6 +112,10 @@ def compare_defenses(
                     float(detection_times[0]) if detection_times else None
                 ),
                 "estimate_error_m": _estimate_error(result),
+                # Subset-search observability (secure reconstruction
+                # strategies only; None for the others).
+                "subsets_searched": stats.get("subsets_searched"),
+                "subsets_pruned": stats.get("subsets_pruned"),
             }
         )
     return rows

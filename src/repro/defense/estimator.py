@@ -47,20 +47,31 @@ the per-candidate reports say exactly what is and is not identifiable.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.predictor import MeasurementEstimator
 from repro.defense.reconstruction import (
+    IncrementalWindowSolver,
     ReconstructionResult,
     SecureStateReconstruct,
     SSProblem,
+    TransitionCache,
 )
 from repro.exceptions import ConfigurationError, EstimatorNotTrainedError
+from repro.telemetry import core as _telemetry
 from repro.types import RadarMeasurement
 
 __all__ = ["follower_relative_system", "SecureReconstructionEstimator"]
+
+#: Solver modes: ``incremental`` reuses cached window geometry across
+#: steps (the default — bit-identical results, ~an order of magnitude
+#: faster; see ``bench_defense_runtime``); ``from_scratch`` rebuilds the
+#: solver every window (the pre-PR-10 behaviour, kept as the benchmark
+#: baseline and as a cross-check in tests).
+SOLVER_MODES = ("incremental", "from_scratch")
 
 
 def follower_relative_system(
@@ -91,6 +102,13 @@ def follower_relative_system(
     return A, B, C
 
 
+def _transition_builder(dt: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact ``(A, B)`` for one interval — module-level so estimator
+    snapshots (deep copies) never capture a bound-method cycle."""
+    A, B, _ = follower_relative_system(dt)
+    return A, B
+
+
 class SecureReconstructionEstimator(MeasurementEstimator):
     """Sliding-window secure state reconstruction as an estimator.
 
@@ -115,6 +133,15 @@ class SecureReconstructionEstimator(MeasurementEstimator):
         Lower bound on the measurement-noise scale used for the
         covariance (guards against near-zero residuals on very short
         windows).
+    solver_mode:
+        ``"incremental"`` (default) reuses cached window geometry via
+        :class:`IncrementalWindowSolver`; ``"from_scratch"`` rebuilds
+        :class:`SecureStateReconstruct` every window.  Both produce
+        bit-identical estimates — the mode only trades runtime.
+    transition_cache_size:
+        LRU bound on the memoized per-``dt`` discretizations (distinct
+        quantized interval durations; jittered sampling cannot grow the
+        cache past this).
     """
 
     def __init__(
@@ -126,9 +153,16 @@ class SecureReconstructionEstimator(MeasurementEstimator):
         rank_tolerance: float = 1e-10,
         margin_gain: float = 2.0,
         noise_floor: float = 0.1,
+        solver_mode: str = "incremental",
+        transition_cache_size: int = 64,
     ):
         if window < 2:
             raise ConfigurationError(f"window must be >= 2, got {window}")
+        if solver_mode not in SOLVER_MODES:
+            raise ConfigurationError(
+                f"solver_mode must be one of {SOLVER_MODES!r}, "
+                f"got {solver_mode!r}"
+            )
         if not 0 <= sparsity < 2:
             raise ConfigurationError(
                 f"sparsity must leave an honest radar channel, got {sparsity}"
@@ -148,8 +182,19 @@ class SecureReconstructionEstimator(MeasurementEstimator):
         self.rank_tolerance = float(rank_tolerance)
         self.margin_gain = float(margin_gain)
         self.noise_floor = float(noise_floor)
+        self.solver_mode = solver_mode
         self.A, self.B, self.C = follower_relative_system(self.sample_period)
-        self._transition_cache = {}
+        self._transition_cache = TransitionCache(
+            _transition_builder, maxsize=transition_cache_size
+        )
+        self._solver = IncrementalWindowSolver(
+            self.A,
+            self.B,
+            self.C,
+            residual_threshold=self.residual_threshold,
+            rank_tolerance=self.rank_tolerance,
+            transition=self._transition_cache,
+        )
         # Window rows: (time, gap, Δv, follower speed).
         self._samples: List[Tuple[float, float, float, float]] = []
         # Current reconstructed state: (time, x = [gap, Δv, a_L]).
@@ -165,6 +210,12 @@ class SecureReconstructionEstimator(MeasurementEstimator):
         self.inconsistent_windows = 0
         #: Windows where even the sparse search had no usable candidate.
         self.fallback_windows = 0
+        #: Windows solved (both the s=0 and sparse passes count as one).
+        self.windows_solved = 0
+        #: Sensor-subset hypotheses examined / eliminated across all
+        #: windows (aggregated from :class:`ReconstructionResult`).
+        self.subsets_searched = 0
+        self.subsets_pruned = 0
 
     # ------------------------------------------------------------------
 
@@ -177,51 +228,77 @@ class SecureReconstructionEstimator(MeasurementEstimator):
         """Latest window's 2s-sparse observability verdict (None = no data)."""
         return self.last_result.guaranteed if self.last_result else None
 
-    def _inputs(self) -> np.ndarray:
-        """Follower accelerations over the window, from trusted speeds."""
-        speeds = [row[3] for row in self._samples]
-        times = [row[0] for row in self._samples]
-        us = np.zeros((len(speeds) - 1, 1))
-        for k in range(len(speeds) - 1):
-            dt = times[k + 1] - times[k]
-            if dt > 1e-9:
-                us[k, 0] = (speeds[k + 1] - speeds[k]) / dt
-        return us
-
     def _transition(self, dt: float):
         """Exact ``(A, B)`` for one interval of duration ``dt``."""
-        cached = self._transition_cache.get(dt)
-        if cached is None:
-            A, B, _ = follower_relative_system(dt)
-            cached = self._transition_cache[dt] = (A, B)
-        return cached
+        return self._transition_cache(dt)
 
     def _reconstruct(self) -> None:
         """Solve the current window and update the state estimate."""
-        ys = np.array([[row[1], row[2]] for row in self._samples])
-        us = self._inputs()
-        times = np.array([row[0] for row in self._samples])
+        tele = _telemetry.current()
+        started = perf_counter() if tele is not None else 0.0
+        window = np.asarray(self._samples)
+        ys = window[:, 1:3]
+        times = window[:, 0]
+        speeds = window[:, 3]
         # Trusted samples are not uniformly spaced (challenge instants
         # and alarm periods leave holes); each interval gets its exact
         # discretization or the fitted trend skews.
-        dts = np.diff(times)
-        end_time = self._samples[-1][0]
+        dts = times[1:] - times[:-1]
+        # Follower accelerations over the window, from trusted speeds.
+        us = np.zeros((len(dts), 1))
+        np.divide(
+            speeds[1:] - speeds[:-1], dts, out=us[:, 0], where=dts > 1e-9
+        )
+        end_time = float(times[-1])
+        sparsities = (0,) if self.sparsity == 0 else (0, self.sparsity)
 
-        def solve(s: int):
-            return SecureStateReconstruct(
-                SSProblem(self.A, self.B, self.C, ys, us=us, s=s, dts=dts),
-                residual_threshold=self.residual_threshold,
-                rank_tolerance=self.rank_tolerance,
-                transition=self._transition,
-            ).solve()
+        if self.solver_mode == "incremental":
+            hits_before = self._solver.geometry_hits
+            results = self._solver.solve_many(ys, us, dts, sparsities)
+            cache_hit = self._solver.geometry_hits > hits_before
+        else:
+            cache_hit = False
+            results = {
+                s: SecureStateReconstruct(
+                    SSProblem(
+                        self.A, self.B, self.C, ys, us=us, s=s, dts=dts
+                    ),
+                    residual_threshold=self.residual_threshold,
+                    rank_tolerance=self.rank_tolerance,
+                    transition=self._transition_cache,
+                ).solve()
+                for s in sparsities
+            }
 
         # Full-set consistency check (s = 0): both channels must agree
         # with the dynamics.  Its single candidate doubles as a
         # least-squares smoother when it passes.
-        full = solve(0)
+        full = results[0]
         # Sparse solve: the defense proper, and the guarantee report.
-        sparse = solve(self.sparsity) if self.sparsity > 0 else full
+        sparse = results[sparsities[-1]]
         self.last_result = sparse
+
+        self.windows_solved += 1
+        searched = sum(r.subsets_searched for r in results.values())
+        pruned = sum(r.subsets_pruned for r in results.values())
+        self.subsets_searched += searched
+        self.subsets_pruned += pruned
+        if tele is not None:
+            tele.emit(
+                "defense.reconstruct",
+                perf_counter() - started,
+                attrs={
+                    "window": int(len(ys)),
+                    "subsets": searched,
+                    "cache_hit": cache_hit,
+                },
+            )
+            tele.incr("defense.windows")
+            tele.incr("defense.subsets", searched)
+            tele.incr("defense.subsets_pruned", pruned)
+            tele.incr(
+                "defense.geometry_hits" if cache_hit else "defense.geometry_misses"
+            )
 
         if full.best is not None:
             self._adopt(end_time, full.best)
@@ -233,6 +310,27 @@ class SecureReconstructionEstimator(MeasurementEstimator):
         self.fallback_windows += 1
         # No subset explains the window — keep the model-rolled state
         # (set by the roll in observe()); nothing else is trustworthy.
+
+    def search_stats(self) -> Dict[str, int]:
+        """Subset-search and cache counters for run-level reporting.
+
+        Returned dict is JSON-serializable and flows into
+        :attr:`repro.simulation.results.SimulationResult.defense_stats`
+        (surfaced by the report's Defense comparison panel).
+        """
+        return {
+            "windows_solved": self.windows_solved,
+            "subsets_searched": self.subsets_searched,
+            "subsets_pruned": self.subsets_pruned,
+            "inconsistent_windows": self.inconsistent_windows,
+            "fallback_windows": self.fallback_windows,
+            "geometry_hits": self._solver.geometry_hits,
+            "geometry_extensions": self._solver.geometry_extensions,
+            "geometry_misses": self._solver.geometry_misses,
+            "transition_hits": self._transition_cache.hits,
+            "transition_misses": self._transition_cache.misses,
+            "transition_evictions": self._transition_cache.evictions,
+        }
 
     def _adopt(self, end_time: float, candidate) -> None:
         """Take a candidate's end-of-window state and its covariance."""

@@ -363,4 +363,7 @@ class CarFollowingSimulation:
 
         if self.pipeline is not None:
             result.detection_events = self.pipeline.detection_events
+            estimator = self.pipeline.estimator
+            if isinstance(estimator, SecureReconstructionEstimator):
+                result.defense_stats = estimator.search_stats()
         return result

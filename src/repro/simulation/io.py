@@ -40,6 +40,7 @@ def result_to_dict(result: SimulationResult) -> dict:
         "name": result.name,
         "attack_name": result.attack_name,
         "defended": result.defended,
+        "defense_stats": result.defense_stats,
         "collision_time": result.collision_time,
         "detection_events": [
             {
@@ -82,6 +83,8 @@ def result_from_dict(payload: dict) -> SimulationResult:
         collision_time=payload["collision_time"],
         attack_name=payload["attack_name"],
         defended=payload["defended"],
+        # .get(): payloads written before the field existed lack the key.
+        defense_stats=payload.get("defense_stats"),
     )
 
 

@@ -78,6 +78,10 @@ class SimulationResult:
     collision_time: Optional[float] = None
     attack_name: str = "none"
     defended: bool = False
+    #: Defense-solver counters for runs whose pipeline performs secure
+    #: reconstruction (subset search / cache telemetry, see
+    #: ``SecureReconstructionEstimator.search_stats``); None otherwise.
+    defense_stats: Optional[Dict[str, int]] = None
 
     @classmethod
     def empty(cls, name: str, **kwargs) -> "SimulationResult":

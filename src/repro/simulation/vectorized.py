@@ -96,7 +96,15 @@ def vectorization_blocker(spec) -> Optional[str]:
         return f"follower policy {scenario.follower_policy!r} is not vectorized"
     if scenario.adaptive_challenge_period is not None:
         return "adaptive challenge scheduling is stateful per run"
-    if spec.defended and scenario.defense.strategy != "rls":
+    if spec.defended and scenario.defense.strategy not in (
+        "rls",
+        "safety_filter",
+    ):
+        # secure_reconstruction / combined: the sliding-window subset
+        # solver is stateful per run.  The safety filter itself is a
+        # pure per-step clamp (certified-track recursion mirrors
+        # component-wise), so "safety_filter" — the RLS pipeline plus
+        # the clamp — vectorizes like "rls".
         return (
             f"defense strategy {scenario.defense.strategy!r} "
             "is stateful per run"
@@ -481,6 +489,20 @@ def run_group_vectorized(specs) -> List[SimulationResult]:
     lag_alpha = float(np.exp(-acc.sample_period / acc.time_constant))
     lag_beta = acc.system_gain * (1.0 - lag_alpha)
 
+    # -- safety-filter constants + certified track (strategy "safety_filter")
+    filtering = defended and scenario.defense.uses_safety_filter
+    if filtering:
+        filt_tau = float(scenario.defense.filter_headway)
+        filt_dmin = float(scenario.defense.filter_minimum_gap)
+        filt_gamma = float(scenario.defense.filter_gamma)
+        filt_aL = float(scenario.defense.filter_leader_accel_bound)
+        filt_min_a = float(acc.min_acceleration)
+        cert_gap = np.zeros(n)
+        cert_leader = np.zeros(n)
+        # All runs take their first sample on the same step, so one
+        # python bool mirrors every scalar filter's None-track state.
+        has_cert = False
+
     # -- follower state
     pos = np.zeros(n)
     vel = np.full(n, float(scenario.follower_initial_speed))
@@ -826,10 +848,43 @@ def run_group_vectorized(specs) -> List[SimulationResult]:
         command = np.where(spacing_sel, spacing_cmd, speed_cmd)
         lifted = np.where(command > min_a, command, min_a)
         a_des = np.where(lifted < max_a, lifted, max_a)
-        surplus = a_des - coast
+        if filtering:
+            # Component-wise mirror of SafetyFilter.clamp on the safe
+            # view (python min(a,b) ≡ where(b < a, b, a), max(a,b) ≡
+            # where(b > a, b, a) — the codebase's IEEE convention).
+            measured_leader = safe_rv + sensed_ego
+            if has_cert:
+                allowed = cert_leader + filt_aL * T
+                cert_leader = np.where(
+                    allowed < measured_leader, allowed, measured_leader
+                )
+            else:
+                cert_leader = measured_leader
+            cert_rel = cert_leader - sensed_ego
+            if has_cert:
+                rel_pos = np.where(cert_rel > 0.0, cert_rel, 0.0)
+                growth_cap = cert_gap + T * rel_pos + 0.5 * filt_aL * T * T
+                cert_gap = np.where(safe_d > growth_cap, growth_cap, safe_d)
+            else:
+                cert_gap = safe_d
+                has_cert = True
+            cert_gap = np.where(cert_gap > 0.0, cert_gap, 0.0)
+            h = cert_gap - filt_dmin - filt_tau * sensed_ego
+            bound = (filt_gamma * h + T * cert_rel) / (
+                filt_tau * T + 0.5 * T * T
+            )
+            clamped = np.where(bound < a_des, bound, a_des)
+            admissible = np.where(clamped > filt_min_a, clamped, filt_min_a)
+            # The lower level re-saturates whatever command it is handed
+            # (LowerLevelController.actuation_split → clamp_command).
+            relifted = np.where(admissible > min_a, admissible, min_a)
+            a_cmd = np.where(relifted < max_a, relifted, max_a)
+        else:
+            a_cmd = a_des
+        surplus = a_cmd - coast
         pedal = np.where(surplus >= 0.0, surplus, 0.0)
         brake = np.where(surplus >= 0.0, 0.0, brake_gain * (-surplus))
-        a_new = lag_alpha * a_state + lag_beta * a_des
+        a_new = lag_alpha * a_state + lag_beta * a_cmd
 
         # ---- record -----------------------------------------------------
         tr["follower_position"][k] = pos

@@ -44,7 +44,7 @@ __all__ = [
 #: Version salt mixed into every fingerprint.  Bump when the simulation
 #: engine, the spec dict schema, or the stored payload codec changes in
 #: a way that invalidates previously stored results.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2  # 2: payloads carry defense_stats metadata
 
 
 def _coerce_scalar(obj: Any) -> Any:

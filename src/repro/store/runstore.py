@@ -195,6 +195,7 @@ def _decode_payload(blob: bytes, codec: str) -> SimulationResult:
         collision_time=meta["collision_time"],
         attack_name=meta["attack_name"],
         defended=meta["defended"],
+        defense_stats=meta.get("defense_stats"),
     )
 
 

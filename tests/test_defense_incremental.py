@@ -1,0 +1,362 @@
+"""Incremental secure-reconstruction solver (repro.defense.reconstruction).
+
+PR 10's contract: the batched subset kernels and the geometry-caching
+:class:`IncrementalWindowSolver` are **bit-identical** to a from-scratch
+:class:`SecureStateReconstruct` on every window — same candidates, same
+arrays, ``==`` not ``allclose`` — across uniform windows, the
+non-uniform windows challenge-instant holes leave, sensor counts
+2/4/6, cache-eviction boundaries and the append/extend path.  Plus the
+bounded caches themselves (:class:`TransitionCache` quantization/LRU,
+geometry LRU) and the estimator-level ``solver_mode`` equivalence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.defense import (
+    SecureReconstructionEstimator,
+    SecureStateReconstruct,
+    SSProblem,
+)
+from repro.defense.reconstruction import (
+    IncrementalWindowSolver,
+    TransitionCache,
+)
+from repro.exceptions import ConfigurationError
+from repro.types import RadarMeasurement
+
+
+def continuous_double_integrator(dt):
+    """Exact discretization of the 1-D double integrator over ``dt``."""
+    A = np.array([[1.0, dt], [0.0, 1.0]])
+    B = np.array([[0.5 * dt * dt], [dt]])
+    return A, B
+
+
+def sensor_matrix(p):
+    """``p`` redundant sensors over the 2-state double integrator."""
+    rng = np.random.default_rng(900 + p)
+    C = rng.standard_normal((p, 2))
+    C[:, 0] += 1.0  # every sensor sees position: all subsets observable
+    return C
+
+
+def measurement_stream(p, steps, seed=7):
+    """A noisy trajectory sampled by ``p`` sensors, with inputs."""
+    rng = np.random.default_rng(seed)
+    C = sensor_matrix(p)
+    A, B = continuous_double_integrator(1.0)
+    x = np.array([30.0, -1.5])
+    us = 0.2 * rng.standard_normal((steps - 1, 1))
+    ys = [C @ x + 0.01 * rng.standard_normal(p)]
+    for k in range(steps - 1):
+        x = A @ x + B @ us[k]
+        ys.append(C @ x + 0.01 * rng.standard_normal(p))
+    return np.array(ys), us, C, A, B
+
+
+def results_equal(a, b):
+    """Bitwise equality of two ReconstructionResults — no tolerance."""
+    if a is None or b is None:
+        return a is b
+    if (
+        a.guaranteed != b.guaranteed
+        or a.subsets_searched != b.subsets_searched
+        or a.subsets_pruned != b.subsets_pruned
+        or a.unobservable_subsets != b.unobservable_subsets
+        or len(a.candidates) != len(b.candidates)
+    ):
+        return False
+    for ca, cb in zip(a.candidates, b.candidates):
+        if (
+            ca.sensors != cb.sensors
+            or ca.attacked != cb.attacked
+            or ca.residual != cb.residual
+            or ca.observable != cb.observable
+            or not np.array_equal(ca.x0, cb.x0)
+            or not np.array_equal(ca.x_end, cb.x_end)
+        ):
+            return False
+        if (ca.x_end_covariance is None) != (cb.x_end_covariance is None):
+            return False
+        if ca.x_end_covariance is not None and not np.array_equal(
+            ca.x_end_covariance, cb.x_end_covariance
+        ):
+            return False
+    return True
+
+
+class TestBatchedMatchesNaive:
+    """The batched kernel agrees with the historical per-subset loop."""
+
+    @pytest.mark.parametrize("p,s", [(2, 1), (4, 1), (4, 2), (6, 2)])
+    def test_same_classification_and_states(self, p, s):
+        ys, us, C, A, B = measurement_stream(p, 8)
+        solver = SecureStateReconstruct(
+            SSProblem(A, B, C, ys, us=us, s=s), residual_threshold=0.5
+        )
+        batched, naive = solver.solve(), solver.solve_naive()
+        assert batched.subsets_searched == naive.subsets_searched
+        assert batched.subsets_pruned == naive.subsets_pruned
+        for cb, cn in zip(batched.candidates, naive.candidates):
+            assert cb.sensors == cn.sensors
+            assert cb.observable == cn.observable
+            assert cb.residual == pytest.approx(cn.residual, abs=1e-9)
+            np.testing.assert_allclose(cb.x0, cn.x0, atol=1e-8)
+            np.testing.assert_allclose(cb.x_end, cn.x_end, atol=1e-8)
+
+    def test_search_accounting_fields(self):
+        # subsets_searched counts every C(p, p-s) hypothesis; pruned is
+        # the complement of the consistent set.
+        ys, us, C, A, B = measurement_stream(4, 8)
+        ys[:, 2] += 30.0  # one attacked sensor
+        result = SecureStateReconstruct(
+            SSProblem(A, B, C, ys, us=us, s=1), residual_threshold=0.5
+        ).solve()
+        assert result.subsets_searched == 4
+        assert (
+            result.subsets_searched - result.subsets_pruned
+            == len(result.consistent)
+        )
+        assert result.subsets_pruned >= 1  # the poisoned subsets fail
+
+
+class TestIncrementalBitIdentity:
+    """Incremental solve == from-scratch solve, bit for bit."""
+
+    @pytest.mark.parametrize("p", [2, 4, 6])
+    @pytest.mark.parametrize("uniform", [True, False], ids=["uniform", "holes"])
+    def test_sliding_stream_matches_from_scratch(self, p, uniform):
+        T = 6
+        steps = 14
+        ys, us, C, A, B = measurement_stream(p, steps + T)
+        s = 1 if p < 6 else 2
+        # Challenge-instant holes: a long interval moves through the
+        # window, so consecutive dt-tuples differ (cache misses).
+        base = np.ones(steps + T - 1)
+        if not uniform:
+            base[::5] = 2.0
+        solver = IncrementalWindowSolver(
+            A,
+            B,
+            C,
+            residual_threshold=0.5,
+            transition=continuous_double_integrator,
+        )
+        for k in range(steps):
+            dts = None if uniform else base[k : k + T - 1]
+            incremental = solver.solve(
+                ys[k : k + T], us[k : k + T - 1], dts, s
+            )
+            scratch = SecureStateReconstruct(
+                SSProblem(A, B, C, ys[k : k + T], us=us[k : k + T - 1], s=s, dts=dts),
+                residual_threshold=0.5,
+                transition=continuous_double_integrator,
+            ).solve()
+            assert results_equal(incremental, scratch), (p, uniform, k)
+        if uniform:
+            assert solver.geometry_hits == steps - 1
+
+    def test_growing_window_uses_extension_path(self):
+        # Appending one sample to a cached geometry extends it instead
+        # of rebuilding — and stays bit-identical to a fresh build.
+        ys, us, C, A, B = measurement_stream(3, 10)
+        solver = IncrementalWindowSolver(A, B, C, residual_threshold=0.5)
+        for T in range(2, 10):
+            grown = solver.solve(ys[:T], us[: T - 1], None, 1)
+            scratch = SecureStateReconstruct(
+                SSProblem(A, B, C, ys[:T], us=us[: T - 1], s=1),
+                residual_threshold=0.5,
+            ).solve()
+            assert results_equal(grown, scratch), T
+        assert solver.geometry_extensions == 7  # every T after the first
+        assert solver.geometry_misses == 1
+
+    def test_eviction_boundary_stays_correct(self):
+        # A solver whose geometry LRU holds a single entry thrashes on
+        # alternating dt-tuples; results must not change.
+        ys, us, C, A, B = measurement_stream(2, 20)
+        tight = IncrementalWindowSolver(
+            A,
+            B,
+            C,
+            residual_threshold=0.5,
+            transition=continuous_double_integrator,
+            max_geometries=1,
+        )
+        roomy = IncrementalWindowSolver(
+            A,
+            B,
+            C,
+            residual_threshold=0.5,
+            transition=continuous_double_integrator,
+        )
+        dts_a = np.ones(5)
+        dts_b = np.array([1.0, 2.0, 1.0, 1.0, 1.0])
+        for k, dts in zip(range(8), [dts_a, dts_b] * 4):
+            a = tight.solve(ys[k : k + 6], us[k : k + 5], dts, 1)
+            b = roomy.solve(ys[k : k + 6], us[k : k + 5], dts, 1)
+            assert results_equal(a, b), k
+        assert tight.cached_geometries == 1
+        assert tight.geometry_hits == 0  # every step evicted the other key
+        assert roomy.geometry_hits == 6
+
+    def test_validation(self):
+        ys, us, C, A, B = measurement_stream(2, 6)
+        with pytest.raises(ConfigurationError, match="max_geometries"):
+            IncrementalWindowSolver(A, B, C, max_geometries=0)
+        with pytest.raises(ConfigurationError, match="residual_threshold"):
+            IncrementalWindowSolver(A, B, C, residual_threshold=0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        p=st.integers(2, 4),
+        repeats=st.integers(1, 3),
+    )
+    def test_property_cache_hits_never_change_results(self, seed, p, repeats):
+        # Solving the same window again (a guaranteed geometry-cache
+        # hit) returns bitwise the same result as the first, cold solve.
+        ys, us, C, A, B = measurement_stream(p, 8, seed=seed)
+        solver = IncrementalWindowSolver(A, B, C, residual_threshold=0.5)
+        cold = solver.solve(ys, us, None, 1)
+        misses = solver.geometry_misses
+        for _ in range(repeats):
+            warm = solver.solve(ys, us, None, 1)
+            assert results_equal(cold, warm)
+        assert solver.geometry_misses == misses  # all hits
+        assert solver.geometry_hits >= repeats
+
+
+class TestTransitionCache:
+    @staticmethod
+    def _builder_calls():
+        calls = []
+
+        def builder(dt):
+            calls.append(dt)
+            return continuous_double_integrator(dt)
+
+        return calls, builder
+
+    def test_quantized_keys_absorb_float_jitter(self):
+        calls, builder = self._builder_calls()
+        cache = TransitionCache(builder, maxsize=4)
+        a = cache(1.0)
+        b = cache(1.0 + 2e-10)  # below the 1e-9 quantization step
+        assert b is a
+        assert (cache.hits, cache.misses, len(cache)) == (1, 1, 1)
+        # The builder saw the quantized value, so equal keys always map
+        # to identical matrices.
+        assert calls == [1.0]
+
+    def test_lru_bound_and_eviction_counter(self):
+        _calls, builder = self._builder_calls()
+        cache = TransitionCache(builder, maxsize=3)
+        for dt in (1.0, 2.0, 3.0, 4.0):
+            cache(dt)
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        cache(1.0)  # evicted: rebuilt, evicting the next-oldest (2.0)
+        assert cache.misses == 5
+        cache(3.0)  # still resident
+        assert cache.hits == 1
+
+    def test_recency_refresh_on_hit(self):
+        _calls, builder = self._builder_calls()
+        cache = TransitionCache(builder, maxsize=2)
+        cache(1.0)
+        cache(2.0)
+        cache(1.0)  # refresh 1.0's recency
+        cache(3.0)  # evicts 2.0, not 1.0
+        assert cache.misses == 3
+        cache(1.0)
+        assert cache.hits == 2
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ConfigurationError, match="maxsize"):
+            TransitionCache(continuous_double_integrator, maxsize=0)
+
+
+class TestEstimatorSolverModes:
+    """solver_mode='incremental' and 'from_scratch' are interchangeable."""
+
+    @staticmethod
+    def _feed(estimator, steps, hole_every=None):
+        v_f = 20.0
+        k = 0
+        fed = 0
+        while fed < steps:
+            k += 1
+            if hole_every and k % hole_every == 0:
+                continue  # challenge instant: no trusted sample
+            t = float(k)
+            gap = 80.0 - 0.8 * t + 0.05 * np.sin(1.3 * k)
+            rel_v = -0.8 + 0.02 * np.cos(2.1 * k)
+            estimator.observe(
+                RadarMeasurement(
+                    time=t, distance=gap, relative_velocity=rel_v
+                ),
+                v_f + 0.01 * np.sin(0.7 * k),
+            )
+            fed += 1
+        return estimator
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="solver_mode"):
+            SecureReconstructionEstimator(solver_mode="cached")
+
+    @pytest.mark.parametrize("hole_every", [None, 6], ids=["uniform", "holes"])
+    def test_modes_bit_identical(self, hole_every):
+        incremental = SecureReconstructionEstimator(solver_mode="incremental")
+        scratch = SecureReconstructionEstimator(solver_mode="from_scratch")
+        for estimator in (incremental, scratch):
+            self._feed(estimator, 40, hole_every=hole_every)
+        assert results_equal(incremental.last_result, scratch.last_result)
+        assert incremental._state[0] == scratch._state[0]
+        assert np.array_equal(incremental._state[1], scratch._state[1])
+        # The shared subset accounting agrees mode-to-mode...
+        for key in ("windows_solved", "subsets_searched", "subsets_pruned"):
+            assert (
+                incremental.search_stats()[key] == scratch.search_stats()[key]
+            )
+        # ...and only the incremental mode exercises the geometry cache.
+        assert incremental.search_stats()["geometry_hits"] > 0
+        assert scratch.search_stats()["geometry_hits"] == 0
+
+    def test_transition_cache_bounded_under_jittered_sampling(self):
+        # Per-step float jitter must not grow the dt-memo without bound.
+        estimator = SecureReconstructionEstimator(transition_cache_size=8)
+        v_f = 20.0
+        t = 0.0
+        for k in range(50):
+            t += 1.0 + 1e-13 * k  # below quantization: one logical dt
+            estimator.observe(
+                RadarMeasurement(
+                    time=t, distance=60.0 - 0.5 * t, relative_velocity=-0.5
+                ),
+                v_f,
+            )
+        assert len(estimator._transition_cache) <= 8
+        assert estimator._transition_cache.evictions == 0
+        assert estimator._transition_cache.hits > 0
+
+    def test_search_stats_keys(self):
+        estimator = self._feed(
+            SecureReconstructionEstimator(), 12, hole_every=5
+        )
+        stats = estimator.search_stats()
+        assert stats["windows_solved"] == 11
+        # Each window solves s=0 (1 subset) and s=1 (2 subsets).
+        assert stats["subsets_searched"] == 33
+        assert stats["subsets_searched"] >= stats["subsets_pruned"] >= 0
+        for key in (
+            "geometry_hits",
+            "geometry_extensions",
+            "geometry_misses",
+            "transition_hits",
+            "transition_misses",
+            "transition_evictions",
+        ):
+            assert stats[key] >= 0

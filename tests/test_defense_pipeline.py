@@ -16,7 +16,8 @@ import repro
 from repro.analysis.defense_comparison import compare_defenses, defense_variants
 from repro.cli import main
 from repro.exceptions import ConfigurationError
-from repro.simulation.batch import RunSpec
+from repro.simulation.batch import RunSpec, execute_batch
+from repro.simulation.io import result_from_dict, result_to_dict
 from repro.simulation.scenario import DEFENSE_STRATEGIES
 from repro.simulation.spec import (
     READABLE_SPEC_VERSIONS,
@@ -148,15 +149,18 @@ class TestCLI:
 
 class TestVectorizedBlocker:
     def test_stateful_strategies_block(self):
-        for strategy in ("secure_reconstruction", "safety_filter", "combined"):
+        for strategy in ("secure_reconstruction", "combined"):
             spec = RunSpec(strategy_scenario(strategy), defended=True)
             reason = vectorization_blocker(spec)
             assert reason is not None and strategy in reason
 
-    def test_rls_not_blocked_by_strategy(self):
-        spec = RunSpec(FAST, defended=True)
-        reason = vectorization_blocker(spec)
-        assert reason is None or "strategy" not in reason
+    def test_stateless_strategies_not_blocked(self):
+        # The CBF clamp is a pure per-step function of the lock-step
+        # state, so "safety_filter" vectorizes like "rls".
+        for strategy in ("rls", "safety_filter"):
+            spec = RunSpec(strategy_scenario(strategy), defended=True)
+            reason = vectorization_blocker(spec)
+            assert reason is None or "strategy" not in reason
 
     def test_undefended_never_blocked_by_strategy(self):
         spec = RunSpec(
@@ -164,6 +168,50 @@ class TestVectorizedBlocker:
         )
         reason = vectorization_blocker(spec)
         assert reason is None or "strategy" not in reason
+
+
+class TestDefenseStats:
+    """Subset-search counters flow estimator -> result -> io -> store."""
+
+    def test_populated_for_secure_reconstruction(self):
+        result = repro.run(strategy_scenario("secure_reconstruction"))
+        stats = result.defense_stats
+        assert stats is not None
+        assert stats["windows_solved"] > 0
+        assert stats["subsets_searched"] > stats["subsets_pruned"] >= 0
+        assert stats["geometry_hits"] > 0  # incremental mode by default
+
+    def test_none_without_reconstruction(self):
+        assert repro.run(FAST).defense_stats is None
+        assert (
+            repro.run(strategy_scenario("safety_filter")).defense_stats is None
+        )
+
+    def test_round_trips_through_io(self):
+        result = repro.run(strategy_scenario("combined"))
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.defense_stats == result.defense_stats
+
+    def test_round_trips_through_store(self, tmp_path):
+        spec = RunSpec(strategy_scenario("secure_reconstruction"), defended=True)
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            cold = execute_batch([spec], cache=store)
+            warm = execute_batch([spec], cache=store)
+        assert warm.records[0].cached
+        assert cold.records[0].payload.defense_stats is not None
+        assert (
+            warm.records[0].payload.defense_stats
+            == cold.records[0].payload.defense_stats
+        )
+
+    def test_comparison_rows_surface_subset_counts(self):
+        rows = {row["defense"]: row for row in compare_defenses(FAST)}
+        for label in ("secure_reconstruction", "combined"):
+            assert rows[label]["subsets_searched"] > 0
+            assert rows[label]["subsets_pruned"] >= 0
+        for label in ("undefended", "rls", "safety_filter"):
+            assert rows[label]["subsets_searched"] is None
+            assert rows[label]["subsets_pruned"] is None
 
 
 class TestComparisonDeterminism:
